@@ -1,0 +1,147 @@
+"""Sec. III / Fig. 2: cloud vs on-device vs split inference economics.
+
+The paper's qualitative claims: large DNNs exceed on-chip memory and
+spill to DRAM, which "consumes significantly more energy"; running
+inference locally "can quickly drain the limited energy"; cloud inference
+avoids device compute but "requires the internet access" and pays the
+network; split/distributed DNNs combine the two.
+
+Expected reproduction: (1) per-parameter energy jumps once a model spills
+out of SRAM; (2) small models favour the device, large models over slow
+devices favour the cloud; (3) the optimal split is never worse than
+either extreme; (4) compression flips a cloud-favoured model back to the
+device.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.inference import best_split, compare_strategies, cost_on_cloud, cost_on_device
+from repro.mobile import (
+    CELLULAR_3G,
+    CLOUD_SERVER,
+    LOW_END_PHONE,
+    MID_RANGE_PHONE,
+    WIFI,
+    estimate_execution,
+    profile_model,
+)
+
+from conftest import run_once
+
+
+def mlp(sizes, rng):
+    layers = []
+    for a, b in zip(sizes[:-1], sizes[1:]):
+        layers += [nn.Linear(a, b, rng=rng), nn.ReLU()]
+    return nn.Sequential(*layers[:-1])
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    models = {
+        "small (86K params)": mlp([1024, 64, 32, 10], rng),
+        "medium (1.8M params)": mlp([1024, 1024, 512, 256, 10], rng),
+        "large (23M params)": mlp([4096, 4096, 1024, 512, 100], rng),
+    }
+    table = {}
+    for name, model in models.items():
+        input_dim = model[0].in_features
+        profile = profile_model(model, (input_dim,))
+        rows = {}
+        for device, link in ((LOW_END_PHONE, CELLULAR_3G),
+                             (MID_RANGE_PHONE, WIFI)):
+            reports = compare_strategies(profile, device, CLOUD_SERVER, link)
+            rows[(device.name, link.name)] = reports
+        table[name] = (profile, rows)
+    return table
+
+
+@pytest.mark.benchmark(group="inference")
+def test_cloud_vs_device_tradeoff(benchmark):
+    table = run_once(benchmark, _run)
+    print()
+    for name, (profile, rows) in table.items():
+        for (device, link), reports in rows.items():
+            print("{} on {} over {}:".format(name, device, link))
+            print("  {:<18} {:>10} {:>10} {:>9}".format(
+                "strategy", "ms", "device mJ", "KB moved"))
+            for report in reports:
+                print("  " + report.row())
+
+    # Small model on a decent phone: on-device wins latency.
+    small_rows = table["small (86K params)"][1][("mid-range-phone", "wifi")]
+    by_name = {r.strategy.split("@")[0]: r for r in small_rows}
+    assert by_name["on-device"].cost.latency_s < by_name["on-cloud"].cost.latency_s
+
+    # Large model on a low-end phone over 3G: offloading beats pure local
+    # on energy (radio bytes are cheaper than 23M DRAM-spilled MACs).
+    large_rows = table["large (23M params)"][1][("low-end-phone", "3g")]
+    by_name_large = {r.strategy.split("@")[0]: r for r in large_rows}
+    assert (by_name_large["on-cloud"].cost.device_energy_j
+            < by_name_large["on-device"].cost.device_energy_j)
+
+    # Optimal split never loses to either extreme (latency objective).
+    assert (by_name_large["split"].cost.latency_s
+            <= min(by_name_large["on-device"].cost.latency_s,
+                   by_name_large["on-cloud"].cost.latency_s) + 1e-9)
+
+
+@pytest.mark.benchmark(group="inference")
+def test_dram_spill_energy_cliff(benchmark):
+    def _run_cliff():
+        rng = np.random.default_rng(0)
+        rows = []
+        for hidden in (16, 512, 2048, 8192):
+            model = nn.Sequential(nn.Linear(1024, hidden, rng=rng), nn.ReLU(),
+                                  nn.Linear(hidden, 10, rng=rng))
+            profile = profile_model(model, (1024,))
+            cost = estimate_execution(profile, LOW_END_PHONE)
+            rows.append((hidden, profile.total_params,
+                         cost.device_energy_j / profile.total_params))
+        return rows
+
+    rows = run_once(benchmark, _run_cliff)
+    print()
+    print("Per-parameter inference energy on {} (on-chip {} KB):".format(
+        LOW_END_PHONE.name, LOW_END_PHONE.onchip_kb))
+    for hidden, params, energy in rows:
+        print("  hidden={:<6} params={:<10} energy/param={:.3e} J".format(
+            hidden, params, energy))
+    # A model that fits in SRAM pays a small per-parameter cost; spilled
+    # models pay the DRAM penalty per parameter — the paper's argument.
+    in_sram = rows[0][2]
+    spilled = rows[-1][2]
+    assert rows[0][1] * 4 < LOW_END_PHONE.onchip_kb * 1024  # truly resident
+    assert spilled > in_sram * 3
+
+
+@pytest.mark.benchmark(group="inference")
+def test_compression_flips_deployment_choice(benchmark):
+    def _run_flip():
+        rng = np.random.default_rng(0)
+        big = mlp([1024, 4096, 2048, 100], rng)
+        profile = profile_model(big, (1024,))
+        device_cost = cost_on_device(profile, LOW_END_PHONE).cost
+        cloud_cost = cost_on_cloud(profile, LOW_END_PHONE, CLOUD_SERVER,
+                                   WIFI).cost
+        # Deep Compression's typical outcome: ~10x fewer effective weights.
+        small = mlp([1024, 409, 204, 100], rng)
+        compressed = profile_model(small, (1024,))
+        compressed_cost = cost_on_device(compressed, LOW_END_PHONE).cost
+        return device_cost, cloud_cost, compressed_cost
+
+    device_cost, cloud_cost, compressed_cost = run_once(benchmark, _run_flip)
+    print()
+    print("Energy per inference on {}:".format(LOW_END_PHONE.name))
+    print("  uncompressed on-device: {:.2f} mJ".format(
+        device_cost.device_energy_j * 1e3))
+    print("  offloaded to cloud    : {:.2f} mJ".format(
+        cloud_cost.device_energy_j * 1e3))
+    print("  compressed on-device  : {:.2f} mJ".format(
+        compressed_cost.device_energy_j * 1e3))
+    # Before compression the cloud is the cheaper-energy option; after
+    # 10x compression local execution wins — Sec. III-B's motivation.
+    assert cloud_cost.device_energy_j < device_cost.device_energy_j
+    assert compressed_cost.device_energy_j < cloud_cost.device_energy_j

@@ -1,0 +1,177 @@
+"""Sec. III-B: model compression and acceleration.
+
+Reproduces the quantitative behaviour of every compression family the
+survey describes:
+
+* **Deep Compression** (Han et al.): pruning + trained quantization +
+  Huffman coding compresses ~10-40x "without loss of accuracy";
+* **low-rank factorization** (Denton et al.): fewer parameters at a small
+  accuracy cost;
+* **structural/circulant matrices** (CirCNN): O(n) parameters per block
+  with competitive accuracy;
+* **distillation** (Hinton et al.): a much smaller student recovers most
+  of the teacher's accuracy;
+* **MobileNets** (Howard et al.): depthwise-separable convolutions cut
+  multiply-accumulates by ~'1/N + 1/k^2' at modest accuracy cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression import (
+    CirculantLinear,
+    DeepCompressionPipeline,
+    DistillationTrainer,
+    factorize_model,
+)
+from repro.mobile import profile_model
+from repro.nn import losses
+from repro.optim import Adam
+from repro.synth import make_digits
+from repro.tensor import Tensor, no_grad
+
+from conftest import run_once
+
+
+def _train(model, x, y, epochs=12, lr=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    for _ in range(epochs):
+        order = rng.permutation(len(x))
+        for start in range(0, len(x), 64):
+            picks = order[start:start + 64]
+            optimizer.zero_grad()
+            losses.cross_entropy(model(Tensor(x[picks])), y[picks]).backward()
+            optimizer.step()
+    return model
+
+
+def _accuracy(model, x, y):
+    model.eval()
+    with no_grad():
+        result = float((model(Tensor(x)).numpy().argmax(1) == y).mean())
+    model.train()
+    return result
+
+
+@pytest.mark.benchmark(group="compression")
+def test_deep_compression_pipeline(benchmark):
+    def _run():
+        rng = np.random.default_rng(0)
+        x, y = make_digits(1500, seed=1)
+        test_x, test_y = make_digits(400, seed=2)
+        model = nn.Sequential(nn.Linear(64, 96, rng=rng), nn.ReLU(),
+                              nn.Linear(96, 48, rng=rng), nn.ReLU(),
+                              nn.Linear(48, 10, rng=rng))
+        _train(model, x, y)
+        pipeline = DeepCompressionPipeline(model, prune_sparsity=0.8,
+                                           quant_bits=5, retrain_epochs=5)
+        return pipeline.run((x, y), (test_x, test_y))
+
+    report = run_once(benchmark, _run)
+    print()
+    print(report.table())
+    # Shape: each stage compresses further; final ratio ~10x at ~no loss.
+    bits = [stage.bits for stage in report.stages]
+    assert bits == sorted(bits, reverse=True)
+    assert report.final_ratio() > 8.0
+    assert report.accuracy_drop() < 0.03
+
+
+@pytest.mark.benchmark(group="compression")
+def test_alternative_compression_families(benchmark):
+    def _run():
+        rng = np.random.default_rng(0)
+        x, y = make_digits(1500, seed=1)
+        test_x, test_y = make_digits(400, seed=2)
+        teacher = nn.Sequential(nn.Linear(64, 96, rng=rng), nn.ReLU(),
+                                nn.Linear(96, 48, rng=rng), nn.ReLU(),
+                                nn.Linear(48, 10, rng=rng))
+        _train(teacher, x, y)
+        results = {"teacher": (teacher.num_parameters(),
+                               _accuracy(teacher, test_x, test_y))}
+
+        factored, _ = factorize_model(teacher, energy=0.85)
+        results["low-rank (85% energy)"] = (
+            factored.num_parameters(), _accuracy(factored, test_x, test_y))
+
+        circulant = nn.Sequential(
+            CirculantLinear(64, 96, block_size=16, rng=rng),
+            nn.LeakyReLU(0.05),
+            CirculantLinear(96, 48, block_size=16, rng=rng),
+            nn.LeakyReLU(0.05),
+            nn.Linear(48, 10, rng=rng),
+        )
+        _train(circulant, x, y, epochs=15)
+        results["circulant (b=16)"] = (
+            circulant.num_parameters(), _accuracy(circulant, test_x, test_y))
+
+        student = nn.Sequential(nn.Linear(64, 16, rng=rng), nn.ReLU(),
+                                nn.Linear(16, 10, rng=rng))
+        distiller = DistillationTrainer(teacher, student, temperature=3.0,
+                                        alpha=0.7, lr=0.01)
+        distiller.train(x, y, epochs=15)
+        results["distilled student"] = (
+            student.num_parameters(), _accuracy(student, test_x, test_y))
+        return results
+
+    results = run_once(benchmark, _run)
+    print()
+    print("{:<22} {:>9} {:>7} {:>9}".format("method", "params", "ratio",
+                                            "accuracy"))
+    teacher_params, teacher_acc = results["teacher"]
+    for name, (params, acc) in results.items():
+        print("{:<22} {:>9} {:>6.1f}x {:>8.2%}".format(
+            name, params, teacher_params / params, acc))
+    # Every family shrinks the model and stays within a few points.
+    for name, (params, acc) in results.items():
+        if name == "teacher":
+            continue
+        assert params < teacher_params
+        assert acc > teacher_acc - 0.06, name
+    # Circulant is the most parameter-efficient of the three here.
+    assert results["circulant (b=16)"][0] < results["low-rank (85% energy)"][0]
+
+
+@pytest.mark.benchmark(group="compression")
+def test_mobilenet_flop_reduction(benchmark):
+    def _run():
+        rng = np.random.default_rng(0)
+        x, y = make_digits(1200, seed=3)
+        x = x.reshape(-1, 1, 8, 8)
+        test_x, test_y = make_digits(300, seed=4)
+        test_x = test_x.reshape(-1, 1, 8, 8)
+        standard = nn.Sequential(
+            nn.Conv2d(1, 8, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.Conv2d(8, 16, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.GlobalAvgPool2d(), nn.Linear(16, 10, rng=rng),
+        )
+        mobile = nn.Sequential(
+            nn.Conv2d(1, 8, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.DepthwiseSeparableConv2d(8, 16, rng=rng),
+            nn.GlobalAvgPool2d(), nn.Linear(16, 10, rng=rng),
+        )
+        rows = {}
+        for name, model in (("standard", standard), ("mobilenet", mobile)):
+            _train(model, x, y, epochs=10, lr=0.02)
+            flops = profile_model(model, (1, 8, 8)).total_flops
+            rows[name] = (model.num_parameters(), flops,
+                          _accuracy(model, test_x, test_y))
+        return rows
+
+    rows = run_once(benchmark, _run)
+    print()
+    print("{:<12} {:>8} {:>10} {:>9}".format("model", "params", "FLOPs",
+                                             "accuracy"))
+    for name, (params, flops, acc) in rows.items():
+        print("{:<12} {:>8} {:>10.0f} {:>8.2%}".format(name, params, flops,
+                                                       acc))
+    std = rows["standard"]
+    mob = rows["mobilenet"]
+    # The depthwise-separable block cuts both FLOPs and parameters
+    # substantially; the theoretical saving for the replaced 3x3 conv is
+    # ~ 1/16 + 1/9 ~ 0.17x.
+    assert mob[1] < std[1] * 0.5
+    assert mob[0] < std[0]
+    assert mob[2] > 0.6

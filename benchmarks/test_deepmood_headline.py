@@ -1,0 +1,113 @@
+"""Sec. IV-A headline: DeepMood on session-level mood prediction.
+
+Paper: "the late fusion based DeepMood methods can achieve up to 90.31%
+accuracy on predicting the depression score ... the conventional shallow
+models like Support Vector Machine and Logistic Regression are not a good
+fit to this task ... XGBoost performs reasonably well as an ensemble
+method, but DeepMood still outperforms it by a significant margin 5.56%."
+
+Expected reproduction (shape): DeepMood is the best method; the boosted
+trees are the best classical baseline; all three fusion heads (FC, FM,
+MVM) are viable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepMood,
+    format_comparison,
+    run_method_comparison,
+    split_cohort_sessions,
+)
+
+from conftest import run_once
+
+DEEP_KWARGS = {"hidden_size": 16, "fusion": "mvm", "fusion_units": 8,
+               "lr": 0.01}
+SEEDS = (0, 3, 7, 11)
+
+
+@pytest.mark.benchmark(group="deepmood")
+def test_deepmood_vs_baselines(benchmark, mood_cohort):
+    """DeepMood vs the classical lineup, deep model averaged over seeds.
+
+    Per-run accuracy is noisy at this cohort size (+-1.5 points), so the
+    deep model is trained once per seed and its mean is compared against
+    the baselines (which are deterministic given the split).
+    """
+
+    def _run():
+        from repro.core.experiments import evaluate_baselines
+        from repro.core import DeepMood
+        from repro.data import stratified_split
+
+        train, test = split_cohort_sessions(mood_cohort, test_fraction=0.25,
+                                            seed=0)
+        results = evaluate_baselines(train, test, label="mood", seed=0)
+        deep_runs = []
+        for seed in SEEDS:
+            rng = np.random.default_rng(seed)
+            strata = np.array([s.mood_label for s in train])
+            fit_idx, val_idx = stratified_split(strata, test_fraction=0.15,
+                                                rng=rng)
+            model = DeepMood(seed=seed, **DEEP_KWARGS)
+            model.fit([train[i] for i in fit_idx], epochs=25,
+                      eval_sessions=[train[i] for i in val_idx])
+            deep_runs.append(model.evaluate(test))
+        results["DeepMood"] = {
+            "accuracy": float(np.mean([r["accuracy"] for r in deep_runs])),
+            "f1": float(np.mean([r["f1_weighted"] for r in deep_runs])),
+        }
+        spread = (min(r["accuracy"] for r in deep_runs),
+                  max(r["accuracy"] for r in deep_runs))
+        return results, spread
+
+    results, spread = run_once(benchmark, _run)
+    print()
+    print(format_comparison(results,
+                            caption="Sec. IV-A - mood disturbance prediction"))
+    print("DeepMood per-seed accuracy range over {} seeds: "
+          "{:.2%}..{:.2%}".format(len(SEEDS), *spread))
+    accuracy = {name: m["accuracy"] for name, m in results.items()}
+    margin = accuracy["DeepMood"] - accuracy["XGBoost"]
+    print("DeepMood vs XGBoost margin: {:+.2f} points "
+          "(paper: +5.56)".format(100 * margin))
+    # Shape: DeepMood beats the paper's cited comparator (XGBoost) and is
+    # at worst within noise of the best baseline overall.
+    assert margin > 0.0
+    assert accuracy["DeepMood"] >= max(
+        v for k, v in accuracy.items() if k != "DeepMood") - 0.03
+    assert accuracy["DeepMood"] > accuracy["Decision Tree"]
+    assert accuracy["DeepMood"] > 0.65
+
+
+@pytest.mark.benchmark(group="deepmood")
+def test_deepmood_fusion_heads(benchmark, mood_cohort):
+    """All three fusion layers (Eqs. 2-4) are viable alternatives."""
+
+    def _run():
+        train, test = split_cohort_sessions(mood_cohort, test_fraction=0.25,
+                                            seed=0)
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(train))
+        validation = [train[i] for i in order[:int(0.15 * len(train))]]
+        fitting = [train[i] for i in order[int(0.15 * len(train)):]]
+        results = {}
+        for fusion in ("fc", "fm", "mvm"):
+            model = DeepMood(hidden_size=16, fusion=fusion, fusion_units=8,
+                             lr=0.01, seed=0)
+            model.fit(fitting, epochs=12, eval_sessions=validation)
+            results[fusion] = model.evaluate(test)["accuracy"]
+        return results
+
+    results = run_once(benchmark, _run)
+    print()
+    print("Fusion-head comparison (Eq. 2 fc / Eq. 3 fm / Eq. 4 mvm):")
+    for fusion, acc in results.items():
+        print("  {:<4}: {:.2%}".format(fusion, acc))
+    # All heads clearly beat chance and land within a few points of each
+    # other, as in the paper's comparison.
+    for fusion, acc in results.items():
+        assert acc > 0.6, fusion
+    assert max(results.values()) - min(results.values()) < 0.12

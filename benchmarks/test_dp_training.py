@@ -1,0 +1,155 @@
+"""Sec. II-C: privacy-preserving training.
+
+Three reproductions in one bench module:
+
+1. **DP-SGD noise sweep** — accuracy vs noise multiplier at fixed steps,
+   with the moments accountant reporting the epsilon spent (Abadi et al.).
+2. **Accountant comparison** — the moments accountant is dramatically
+   tighter than strong composition (the reason it matters).
+3. **DP-FedAvg** — the McMahan et al. result the paper summarizes:
+   user-level DP federated training "can guarantee the differential
+   privacy without losing accuracy" at moderate noise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.federated import FedAvg, FederatedClient
+from repro.privacy import (
+    DPFedAvg,
+    DPSGDTrainer,
+    MomentsAccountant,
+    strong_composition_epsilon,
+)
+from repro.synth import make_digits, shard_partition
+
+from conftest import run_once
+
+DELTA = 1e-5
+
+
+def small_model():
+    rng = np.random.default_rng(42)
+    return nn.Sequential(nn.Linear(64, 24, rng=rng), nn.ReLU(),
+                         nn.Linear(24, 10, rng=rng))
+
+
+def _run_dpsgd():
+    x, y = make_digits(1200, seed=1)
+    test_x, test_y = make_digits(400, seed=2)
+    results = {}
+    for sigma in (0.0, 0.5, 1.0, 2.0):
+        trainer = DPSGDTrainer(small_model(), lr=0.4, clip_norm=3.0,
+                               noise_multiplier=max(sigma, 1e-9),
+                               lot_size=120, seed=0)
+        trainer.train(x, y, num_steps=60, delta=DELTA)
+        epsilon = (trainer.accountant.spent(DELTA) if sigma > 0
+                   else float("inf"))
+        results[sigma] = (trainer.evaluate(test_x, test_y), epsilon)
+    return results
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_dpsgd_privacy_utility_tradeoff(benchmark):
+    results = run_once(benchmark, _run_dpsgd)
+    print()
+    print("DP-SGD on synthetic digits (60 steps, lot 120, clip 3.0):")
+    for sigma, (acc, eps) in results.items():
+        print("  sigma={:<4}: acc={:.3f}  epsilon={}".format(
+            sigma, acc, "inf" if math.isinf(eps) else round(eps, 2)))
+    accuracies = [results[s][0] for s in (0.0, 0.5, 1.0, 2.0)]
+    # Moderate noise costs little; heavy noise costs more.
+    assert results[0.5][0] > results[2.0][0] - 0.02
+    assert results[0.0][0] >= max(accuracies) - 0.05
+    # Privacy improves (epsilon falls) as noise grows.
+    assert results[0.5][1] > results[1.0][1] > results[2.0][1]
+    # Non-trivial utility at a single-digit epsilon.
+    assert results[1.0][0] > 0.5
+    assert results[1.0][1] < 10.0
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_moments_accountant_vs_strong_composition(benchmark):
+    def _run():
+        q, sigma = 0.01, 1.0
+        rows = []
+        for steps in (100, 1000, 10000):
+            moments = MomentsAccountant().step(q, sigma, steps).spent(DELTA)
+            per_step = q * math.sqrt(2 * math.log(1.25 / (DELTA / 10)))
+            strong = strong_composition_epsilon(per_step, DELTA / 10, steps,
+                                                DELTA / 10)
+            rows.append((steps, moments, strong))
+        return rows
+
+    rows = run_once(benchmark, _run)
+    print()
+    print("epsilon at delta={} (q=0.01, sigma=1.0):".format(DELTA))
+    print("{:>8} {:>18} {:>20} {:>8}".format(
+        "steps", "moments accountant", "strong composition", "ratio"))
+    for steps, moments, strong in rows:
+        print("{:>8} {:>18.3f} {:>20.3f} {:>7.1f}x".format(
+            steps, moments, strong, strong / moments))
+    # The accountant is uniformly tighter and the gap grows with steps.
+    for steps, moments, strong in rows:
+        assert moments < strong
+    ratios = [strong / moments for _, moments, strong in rows]
+    assert ratios[-1] > ratios[0]
+
+
+def _make_dp_clients(num_users, samples=3000):
+    x, y = make_digits(samples, seed=1)
+    parts = shard_partition(y, num_users, shards_per_client=4,
+                            rng=np.random.default_rng(0))
+    return [
+        FederatedClient(i, ArrayDataset(x[p], y[p]), small_model, seed=i)
+        for i, p in enumerate(parts)
+    ]
+
+
+def _run_dpfedavg():
+    eval_data = make_digits(400, seed=2)
+    clients = _make_dp_clients(100)
+    results = {}
+    for label, z in (("z~0 (non-private)", 1e-3), ("z=0.5", 0.5),
+                     ("z=1.0", 1.0), ("z=2.0", 2.0)):
+        dp = DPFedAvg(clients, small_model, sample_prob=0.3, clip_norm=2.0,
+                      noise_multiplier=z, local_epochs=3, lr=0.3, seed=0)
+        history = dp.run(40, eval_data, delta=1e-3)
+        results[label] = (history.final_accuracy(),
+                          dp.epsilon_spent(delta=1e-3))
+    # Population scaling: the same noise hurts a small cohort far more,
+    # which is why the original result needed many users.
+    small_cohort = _make_dp_clients(20)
+    dp_small = DPFedAvg(small_cohort, small_model, sample_prob=0.3,
+                        clip_norm=2.0, noise_multiplier=1.0, local_epochs=3,
+                        lr=0.3, seed=0)
+    history_small = dp_small.run(40, eval_data, delta=1e-3)
+    return results, history_small.final_accuracy()
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_dpfedavg_accuracy_vs_privacy(benchmark):
+    results, small_cohort_accuracy = run_once(benchmark, _run_dpfedavg)
+    print()
+    print("DP-FedAvg (100 users, 40 rounds, user-level DP at delta=1e-3):")
+    for name, (acc, eps) in results.items():
+        print("  {:<18}: acc={:.3f}  epsilon={}".format(
+            name, acc, "inf" if eps > 1e6 else round(eps, 2)))
+    print("  z=1.0, 20 users   : acc={:.3f} "
+          "(noise/user grows as the cohort shrinks)".format(
+              small_cohort_accuracy))
+    non_private = results["z~0 (non-private)"][0]
+    moderate = results["z=0.5"][0]
+    heavy = results["z=2.0"][0]
+    # Moderate noise stays within reach of the non-private run; the
+    # trade-off is monotone; epsilon falls as noise rises.
+    assert moderate > non_private - 0.15
+    assert moderate > results["z=1.0"][0] > heavy
+    assert results["z=2.0"][1] < results["z=1.0"][1] < results["z=0.5"][1]
+    # And the paper's scaling argument: bigger cohorts absorb the same
+    # noise multiplier with less accuracy damage.
+    assert results["z=1.0"][0] > small_cohort_accuracy

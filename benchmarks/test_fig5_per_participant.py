@@ -1,0 +1,64 @@
+"""Fig. 5: per-participant mood-prediction accuracy vs training sessions.
+
+The paper plots one dot per participant (20 total): number of contributed
+training sessions against that participant's prediction accuracy, and
+observes that the model "can steadily produce accurate predictions
+(>= 87%) of a participant's mood states when she provides more than 400
+valid typing sessions".
+
+Expected reproduction: accuracy rises with contributed sessions — the
+high-contribution half of the cohort clearly beats the low-contribution
+half, and the top contributors approach the global ceiling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import per_participant_accuracy
+from repro.synth import TypingDynamicsGenerator
+
+from conftest import run_once
+
+
+def _run():
+    # Session counts spread like the paper's cohort: a few heavy users,
+    # a long tail of light ones.
+    rng = np.random.default_rng(0)
+    counts = np.sort(rng.integers(40, 520, size=20))
+    cohort = TypingDynamicsGenerator(seed=11).generate_cohort(20, counts)
+    return per_participant_accuracy(
+        cohort, test_fraction=0.25, epochs=15,
+        hidden_size=24, fusion="mvm", fusion_units=12, lr=0.01,
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_accuracy_grows_with_sessions(benchmark):
+    results = run_once(benchmark, _run)
+    results = sorted(results, key=lambda r: r["train_sessions"])
+    print()
+    print("Fig. 5 - per-participant accuracy vs training sessions")
+    print("{:>12} {:>15} {:>9}".format("participant", "train sessions",
+                                       "accuracy"))
+    for row in results:
+        print("{:>12} {:>15} {:>8.2%}".format(
+            row["participant"], row["train_sessions"], row["accuracy"]))
+
+    sessions = np.array([r["train_sessions"] for r in results])
+    accuracy = np.array([r["accuracy"] for r in results])
+    half = len(results) // 2
+    low_half = accuracy[:half].mean()
+    high_half = accuracy[half:].mean()
+    print("low-contribution half: {:.2%}   high-contribution half: {:.2%}"
+          .format(low_half, high_half))
+    correlation = np.corrcoef(sessions, accuracy)[0, 1]
+    print("corr(sessions, accuracy) = {:+.3f}".format(correlation))
+
+    # Shape: more sessions -> better accuracy.  Per-participant accuracy
+    # is noisy (each dot is one small test set), so the robust checks are
+    # the half-cohort contrast and a positive trend.
+    assert high_half > low_half + 0.02
+    assert correlation > 0.05
+    # Heavy contributors (the paper's ">400 sessions" region) do well.
+    heavy = accuracy[sessions > 300]
+    assert heavy.mean() > accuracy.mean()

@@ -1,0 +1,79 @@
+"""Fig. 6: multi-view pattern analysis of the top-5 active users.
+
+The paper's figure shows, for the five most active users, per-view
+behavioural fingerprints: keypress duration / time-since-last-key /
+keystrokes-per-session (alphabet view), frequent vs infrequent special
+keys (symbol view), and the correlations between acceleration axes
+(acceleration view), concluding that "the top 5 active users can be well
+separated".
+
+Expected reproduction: the same summary statistics differ across users,
+and a classifier on exactly these per-view fingerprints separates the top
+users far better than chance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomForestClassifier
+from repro.core import session_flat_features, split_cohort_sessions, user_pattern_summary
+from repro.data import StandardScaler, accuracy
+from repro.synth import SPECIAL_KEYS, TypingDynamicsGenerator
+
+from conftest import run_once
+
+
+def _run():
+    cohort = TypingDynamicsGenerator(seed=7).generate_cohort(10, 100)
+    summary = user_pattern_summary(cohort, top_k=5)
+    top_users = list(summary)
+
+    # Separability check on the same users.
+    train, test = split_cohort_sessions(cohort, seed=0)
+    train = [s for s in train if s.user_id in top_users]
+    test = [s for s in test if s.user_id in top_users]
+    x_train = np.stack([session_flat_features(s) for s in train])
+    y_train = np.array([top_users.index(s.user_id) for s in train])
+    x_test = np.stack([session_flat_features(s) for s in test])
+    y_test = np.array([top_users.index(s.user_id) for s in test])
+    scaler = StandardScaler()
+    model = RandomForestClassifier(num_trees=60, max_depth=20, seed=0)
+    model.fit(scaler.fit_transform(x_train), y_train)
+    separability = accuracy(y_test, model.predict(scaler.transform(x_test)))
+    return summary, separability
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_pattern_analysis(benchmark):
+    summary, separability = run_once(benchmark, _run)
+    print()
+    print("Fig. 6 - multi-view patterns of the top-5 active users")
+    header = ("{:>6} {:>9} {:>12} {:>9} {:>13} {:>22} {:>7} {:>7} {:>7}"
+              .format("user", "sessions", "duration ms", "gap ms",
+                      "keys/session", "frequent keys", "c(xy)", "c(xz)",
+                      "c(yz)"))
+    print(header)
+    for uid, stats in summary.items():
+        print("{:>6} {:>9} {:>12.1f} {:>9.1f} {:>13.1f} {:>22} {:>+7.2f} "
+              "{:>+7.2f} {:>+7.2f}".format(
+                  uid, stats["sessions"], stats["median_duration_ms"],
+                  stats["median_gap_ms"], stats["keys_per_session"],
+                  ",".join(k[:5] for k in stats["frequent_keys"]) or "-",
+                  stats["accel_correlations"]["xy"],
+                  stats["accel_correlations"]["xz"],
+                  stats["accel_correlations"]["yz"]))
+    print("top-5 separability (random forest on these views): {:.2%}"
+          .format(separability))
+
+    # Shape assertions: users differ on each view's fingerprint...
+    durations = [s["median_duration_ms"] for s in summary.values()]
+    gaps = [s["median_gap_ms"] for s in summary.values()]
+    correlations = [s["accel_correlations"]["xy"] for s in summary.values()]
+    assert len(summary) == 5
+    assert max(durations) > min(durations)
+    assert max(gaps) > min(gaps)
+    assert max(correlations) - min(correlations) > 0.01
+    # ...space is a frequent key for virtually everyone (as in the paper).
+    assert sum("space" in s["frequent_keys"] for s in summary.values()) >= 3
+    # ...and the top users are "well separated".
+    assert separability > 0.5

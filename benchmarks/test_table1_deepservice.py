@@ -1,0 +1,60 @@
+"""Table I: DEEPSERVICE vs classical baselines at 10 and 26 users.
+
+Paper's numbers (accuracy / F1):
+
+    |               |   10 users    |   26 users    |
+    | LR            | 44.25 / 45.31 | 27.44 / 30.26 |
+    | SVM           | 44.39 / 45.12 | 30.33 / 31.90 |
+    | Decision Tree | 53.50 / 52.85 | 43.37 / 42.42 |
+    | RandomForest  | 77.05 / 76.59 | 67.87 / 66.31 |
+    | XGBoost       | 85.14 / 84.93 | 79.48 / 78.81 |
+    | DEEPSERVICE   | 87.35 / 87.69 | 82.73 / 83.25 |
+
+Expected reproduction (shape, not absolute numbers): linear models and the
+single tree trail badly; the ensembles recover most of the gap; the
+multi-view deep model wins; and everything degrades from 10 to 26 users.
+"""
+
+import pytest
+
+from repro.core import format_comparison, run_method_comparison, split_cohort_sessions
+
+from conftest import run_once
+
+DEEP_KWARGS = {"hidden_size": 32, "fusion": "mvm", "fusion_units": 16,
+               "lr": 0.015, "lr_decay": 0.97}
+
+
+def _run(cohort, epochs):
+    train, test = split_cohort_sessions(cohort, test_fraction=0.25, seed=0)
+    return run_method_comparison(train, test, label="user", epochs=epochs,
+                                 seed=0, deep_kwargs=DEEP_KWARGS)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_10_users(benchmark, table1_cohort_10):
+    results = run_once(benchmark, lambda: _run(table1_cohort_10, epochs=45))
+    print()
+    print(format_comparison(results, caption="Table I - 10 users"))
+    accuracy = {name: m["accuracy"] for name, m in results.items()}
+    # Shape assertions from the paper's ordering.
+    ensembles = max(accuracy["RandomForest"], accuracy["XGBoost"])
+    linear = max(accuracy["LR"], accuracy["SVM"])
+    assert ensembles > linear
+    assert ensembles > accuracy["Decision Tree"]
+    assert accuracy["DEEPSERVICE"] > accuracy["XGBoost"]
+    assert accuracy["DEEPSERVICE"] > 0.6
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_26_users(benchmark, table1_cohort_26):
+    results = run_once(benchmark, lambda: _run(table1_cohort_26, epochs=45))
+    print()
+    print(format_comparison(results, caption="Table I - 26 users"))
+    accuracy = {name: m["accuracy"] for name, m in results.items()}
+    ensembles = max(accuracy["RandomForest"], accuracy["XGBoost"])
+    assert ensembles > max(accuracy["LR"], accuracy["SVM"])
+    assert accuracy["DEEPSERVICE"] > accuracy["XGBoost"] - 0.02
+    # More users -> harder problem than the 10-user variant (checked loosely
+    # against chance level rather than across fixtures).
+    assert accuracy["DEEPSERVICE"] > 2.0 / 26.0

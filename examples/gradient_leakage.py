@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Why privacy-preserving training matters (paper Sec. II-C).
+
+The survey warns that "the gradients uploaded by participants may still
+reveal the features of local training data".  This demo makes the threat
+concrete and then applies the package's defenses:
+
+1. a gradient-inversion attack recovers a client's training image almost
+   exactly from a single uploaded gradient;
+2. DP-SGD-style Gaussian gradient noise destroys the reconstruction;
+3. secure aggregation makes each individual upload look like random
+   noise while the server still gets the exact sum;
+4. a membership-inference attack shows an overfit model leaks who was in
+   the training set, and how the gap looks for a better-regularized one.
+
+Run:  python examples/gradient_leakage.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.federated import SecureAggregator
+from repro.nn import losses
+from repro.optim import Adam
+from repro.privacy import GradientInversionAttack, MembershipInferenceAttack
+from repro.synth import make_digits
+from repro.tensor import Tensor
+
+
+def main():
+    rng = np.random.default_rng(0)
+    x, y = make_digits(200, seed=1)
+    model = nn.Sequential(nn.Linear(64, 32, rng=rng), nn.ReLU(),
+                          nn.Linear(32, 10, rng=rng))
+
+    print("== 1. gradient inversion ==")
+    attack = GradientInversionAttack()
+    target = x[0]
+    for noise in (0.0, 0.05, 0.5):
+        _, similarity = attack.attack(model, target, y[0], noise_std=noise,
+                                      rng=np.random.default_rng(1))
+        label = "clean gradient" if noise == 0 else \
+            "gradient + N(0, {})".format(noise)
+        print("  {:<24}: reconstruction similarity {:.3f}".format(
+            label, similarity))
+
+    print()
+    print("== 2. secure aggregation ==")
+    aggregator = SecureAggregator(list(range(5)), mask_scale=100.0, seed=0)
+    updates = {i: rng.normal(size=512) for i in range(5)}
+    masked = {i: aggregator.mask_update(i, u) for i, u in updates.items()}
+    leakage = aggregator.leakage_estimate(updates[0], masked[0])
+    error = np.abs(aggregator.aggregate(masked) -
+                   sum(updates.values())).max()
+    print("  single upload correlation with true update: {:+.4f}".format(
+        leakage))
+    print("  aggregation error after masks cancel      : {:.2e}".format(error))
+
+    print()
+    print("== 3. membership inference ==")
+    train_x, train_y = make_digits(100, seed=3, noise=0.4)
+    out_x, out_y = make_digits(100, seed=4, noise=0.4)
+    overfit = nn.Sequential(nn.Linear(64, 64, rng=rng), nn.ReLU(),
+                            nn.Linear(64, 10, rng=rng))
+    optimizer = Adam(overfit.parameters(), lr=0.01)
+    for _ in range(150):
+        optimizer.zero_grad()
+        losses.cross_entropy(overfit(Tensor(train_x)), train_y).backward()
+        optimizer.step()
+    mia = MembershipInferenceAttack()
+    advantage = mia.advantage(overfit, (train_x, train_y), (out_x, out_y))
+    print("  overfit model: membership advantage {:+.3f} "
+          "(0 = no leakage)".format(advantage))
+    fresh = nn.Sequential(nn.Linear(64, 16, rng=rng), nn.ReLU(),
+                          nn.Linear(16, 10, rng=rng))
+    advantage_fresh = mia.advantage(fresh, (train_x, train_y), (out_x, out_y))
+    print("  untrained model: membership advantage {:+.3f}".format(
+        advantage_fresh))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Every compression technique from Sec. III-B on one model.
+
+Trains a small CNN on synthetic digit images, then applies — separately —
+Deep Compression (pruning + weight sharing + Huffman), low-rank
+factorization, a circulant re-parameterization, knowledge distillation,
+and a MobileNet-style depthwise-separable redesign, reporting size /
+compute / accuracy for each.
+
+Run:  python examples/model_zoo_compression.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.compression import (
+    CirculantLinear,
+    DeepCompressionPipeline,
+    DistillationTrainer,
+    factorize_model,
+)
+from repro.mobile import profile_model
+from repro.nn import losses
+from repro.optim import Adam
+from repro.synth import make_digits
+from repro.tensor import Tensor
+
+
+def train(model, train_x, train_y, epochs=12, lr=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    for _ in range(epochs):
+        order = rng.permutation(len(train_x))
+        for start in range(0, len(train_x), 64):
+            picks = order[start:start + 64]
+            optimizer.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(train_x[picks])),
+                                        train_y[picks])
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+def accuracy(model, x, y):
+    from repro.tensor import no_grad
+
+    model.eval()
+    with no_grad():
+        result = (model(Tensor(x)).numpy().argmax(1) == y).mean()
+    model.train()
+    return result
+
+
+def main():
+    rng = np.random.default_rng(0)
+    train_x, train_y = make_digits(1500, seed=1)
+    test_x, test_y = make_digits(400, seed=2)
+
+    teacher = nn.Sequential(
+        nn.Linear(64, 96, rng=rng), nn.ReLU(),
+        nn.Linear(96, 48, rng=rng), nn.ReLU(),
+        nn.Linear(48, 10, rng=rng),
+    )
+    train(teacher, train_x, train_y)
+    base_acc = accuracy(teacher, test_x, test_y)
+    base_params = teacher.num_parameters()
+    print("teacher: {} params, accuracy {:.2%}".format(base_params, base_acc))
+
+    # --- Deep Compression ---------------------------------------------
+    import copy
+
+    pruned = nn.Sequential(
+        nn.Linear(64, 96, rng=rng), nn.ReLU(),
+        nn.Linear(96, 48, rng=rng), nn.ReLU(),
+        nn.Linear(48, 10, rng=rng),
+    )
+    pruned.load_state_dict(teacher.state_dict())
+    report = DeepCompressionPipeline(pruned, prune_sparsity=0.8,
+                                     quant_bits=5).run(
+        (train_x, train_y), (test_x, test_y))
+    print("\n[deep compression]\n" + report.table())
+
+    # --- Low-rank factorization ---------------------------------------
+    factored, layer_report = factorize_model(teacher, energy=0.85)
+    print("\n[low-rank] {} -> {} params, accuracy {:.2%}".format(
+        base_params, factored.num_parameters(),
+        accuracy(factored, test_x, test_y)))
+    for index, old, new, rank in layer_report:
+        print("  layer {}: {} -> {} params (rank {})".format(
+            index, old, new, rank))
+
+    # --- Circulant structured layers (CirCNN) --------------------------
+    # LeakyReLU avoids whole-layer ReLU death, to which the shared-weight
+    # circulant blocks are more prone than dense layers.
+    circulant = nn.Sequential(
+        CirculantLinear(64, 96, block_size=16, rng=rng), nn.LeakyReLU(0.05),
+        CirculantLinear(96, 48, block_size=16, rng=rng), nn.LeakyReLU(0.05),
+        nn.Linear(48, 10, rng=rng),
+    )
+    train(circulant, train_x, train_y, epochs=15)
+    print("\n[circulant] {} params, accuracy {:.2%}".format(
+        circulant.num_parameters(), accuracy(circulant, test_x, test_y)))
+
+    # --- Knowledge distillation ----------------------------------------
+    student = nn.Sequential(nn.Linear(64, 20, rng=rng), nn.ReLU(),
+                            nn.Linear(20, 10, rng=rng))
+    distiller = DistillationTrainer(teacher, student, temperature=3.0,
+                                    alpha=0.7, lr=0.01)
+    distiller.train(train_x, train_y, epochs=15)
+    print("\n[distillation] student {} params, accuracy {:.2%}, "
+          "teacher agreement {:.2%}".format(
+              student.num_parameters(),
+              distiller.evaluate(test_x, test_y),
+              distiller.agreement(test_x)))
+
+    # --- MobileNet-style depthwise separable CNN ------------------------
+    images_x, images_y = make_digits(1200, seed=3)
+    images_x = images_x.reshape(-1, 1, 8, 8)
+    test_images, test_labels = make_digits(300, seed=4)
+    test_images = test_images.reshape(-1, 1, 8, 8)
+    standard = nn.Sequential(
+        nn.Conv2d(1, 8, 3, padding=1, rng=rng), nn.ReLU(),
+        nn.Conv2d(8, 16, 3, padding=1, rng=rng), nn.ReLU(),
+        nn.GlobalAvgPool2d(), nn.Linear(16, 10, rng=rng),
+    )
+    mobile = nn.Sequential(
+        nn.Conv2d(1, 8, 3, padding=1, rng=rng), nn.ReLU(),
+        nn.DepthwiseSeparableConv2d(8, 16, rng=rng),
+        nn.GlobalAvgPool2d(), nn.Linear(16, 10, rng=rng),
+    )
+    for name, model in (("standard conv", standard), ("mobilenet", mobile)):
+        train(model, images_x, images_y, epochs=10, lr=0.02)
+        flops = profile_model(model, (1, 8, 8)).total_flops
+        print("\n[{}] {} params, {:.0f} FLOPs/inference, accuracy {:.2%}"
+              .format(name, model.num_parameters(), flops,
+                      accuracy(model, test_images, test_labels)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Private cloud-based inference (paper Sec. III-A, Fig. 3).
+
+A trained network is split: the shallow local part runs frozen on the
+phone; its output is clipped, nullified, and perturbed with Gaussian
+noise before being sent to the cloud part.  Noisy training of the cloud
+part recovers the accuracy the perturbation costs.
+
+Run:  python examples/private_inference.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.inference import (
+    NoisyTrainer,
+    PrivateInferencePipeline,
+    PrivateLocalTransformer,
+    split_sequential,
+)
+from repro.nn import losses
+from repro.optim import Adam
+from repro.synth import make_digits
+from repro.tensor import Tensor
+
+
+def train_base_model(train_x, train_y, rng):
+    model = nn.Sequential(
+        nn.Linear(64, 48, rng=rng), nn.Tanh(),
+        nn.Linear(48, 24, rng=rng), nn.Tanh(),
+        nn.Linear(24, 10, rng=rng),
+    )
+    optimizer = Adam(model.parameters(), lr=0.01)
+    for _ in range(12):
+        order = rng.permutation(len(train_x))
+        for start in range(0, len(train_x), 64):
+            picks = order[start:start + 64]
+            optimizer.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(train_x[picks])),
+                                        train_y[picks])
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+def main():
+    rng = np.random.default_rng(0)
+    # "Public" data stands in for data of the same type as the sensitive
+    # data (the paper trains the cloud net on public data only).
+    public_x, public_y = make_digits(1500, seed=1)
+    sensitive_x, sensitive_y = make_digits(500, seed=9)
+
+    base = train_base_model(public_x, public_y, rng)
+    local_net, _ = split_sequential(base, split_index=2)
+
+    print("{:>6} {:>22} {:>19}".format("sigma", "standard training",
+                                       "noisy training"))
+    for sigma in (0.0, 0.5, 1.0, 2.0):
+        row = []
+        for noisy_training in (False, True):
+            transformer = PrivateLocalTransformer(
+                local_net, nullification_rate=0.1, noise_sigma=sigma,
+                bound=5.0, seed=0,
+            )
+            cloud_rng = np.random.default_rng(7)
+            cloud_net = nn.Sequential(
+                nn.Linear(48, 24, rng=cloud_rng), nn.Tanh(),
+                nn.Linear(24, 10, rng=cloud_rng),
+            )
+            trainer = NoisyTrainer(
+                cloud_net, transformer, lr=0.01,
+                noisy_fraction=1.0 if noisy_training else 0.0, seed=0,
+            )
+            trainer.train(public_x, public_y, epochs=12)
+            pipeline = PrivateInferencePipeline(transformer, cloud_net)
+            row.append(pipeline.accuracy(sensitive_x, sensitive_y, repeats=3))
+        epsilon = (
+            PrivateLocalTransformer(local_net, noise_sigma=sigma,
+                                    bound=5.0).epsilon_per_query()
+            if sigma > 0 else float("inf")
+        )
+        print("{:>6.1f} {:>21.2%} {:>19.2%}   (eps/query={:>5.1f})".format(
+            sigma, row[0], row[1], epsilon))
+
+    transformer = PrivateLocalTransformer(local_net, noise_sigma=1.0)
+    pipeline = PrivateInferencePipeline(transformer, None)
+    print()
+    print("communication: raw input 64 floats -> representation 48 floats "
+          "({:.2f}x reduction)".format(
+              pipeline.communication_reduction(64, 48)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: the full mobile-deep-learning workflow in one script.
+
+1. Train a small DNN on synthetic on-device data with the pure-numpy
+   engine.
+2. Compress it with the Deep Compression pipeline (prune -> weight
+   sharing -> Huffman) so it fits a phone.
+3. Price on-device vs on-cloud vs split deployment with the mobile cost
+   models.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.compression import DeepCompressionPipeline
+from repro.inference import compare_strategies
+from repro.mobile import CLOUD_SERVER, CELLULAR_4G, LOW_END_PHONE, MID_RANGE_PHONE, WIFI, profile_model
+from repro.nn import losses
+from repro.optim import Adam
+from repro.synth import make_digits
+from repro.tensor import Tensor
+
+
+def main():
+    rng = np.random.default_rng(0)
+    train_x, train_y = make_digits(1500, seed=1)
+    test_x, test_y = make_digits(400, seed=2)
+
+    # ------------------------------------------------------------------
+    # 1. Train
+    # ------------------------------------------------------------------
+    model = nn.Sequential(
+        nn.Linear(64, 64, rng=rng), nn.ReLU(),
+        nn.Linear(64, 32, rng=rng), nn.ReLU(),
+        nn.Linear(32, 10, rng=rng),
+    )
+    optimizer = Adam(model.parameters(), lr=0.01)
+    for epoch in range(12):
+        order = rng.permutation(len(train_x))
+        for start in range(0, len(train_x), 64):
+            picks = order[start:start + 64]
+            optimizer.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(train_x[picks])),
+                                        train_y[picks])
+            loss.backward()
+            optimizer.step()
+    accuracy = (model(Tensor(test_x)).numpy().argmax(1) == test_y).mean()
+    print("trained model accuracy: {:.2%}  ({} parameters)".format(
+        accuracy, model.num_parameters()))
+
+    # ------------------------------------------------------------------
+    # 2. Compress (Sec. III-B: pruning + quantization + Huffman)
+    # ------------------------------------------------------------------
+    pipeline = DeepCompressionPipeline(model, prune_sparsity=0.8, quant_bits=5)
+    report = pipeline.run((train_x, train_y), (test_x, test_y))
+    print()
+    print(report.table())
+    print("-> {:.1f}x smaller, accuracy change {:+.2%}".format(
+        report.final_ratio(), -report.accuracy_drop()))
+
+    # ------------------------------------------------------------------
+    # 3. Deployment planning (Sec. III: cloud vs device vs split)
+    # ------------------------------------------------------------------
+    # A production-size model (VGG-style MLP) makes the trade-offs real:
+    # the compressed digit model above is so small that on-device always
+    # wins, which is itself the point of Sec. III-B.
+    big_rng = np.random.default_rng(1)
+    big = nn.Sequential(
+        nn.Linear(1024, 2048, rng=big_rng), nn.ReLU(),
+        nn.Linear(2048, 2048, rng=big_rng), nn.ReLU(),
+        nn.Linear(2048, 512, rng=big_rng), nn.ReLU(),
+        nn.Linear(512, 100, rng=big_rng),
+    )
+    profile = profile_model(big, input_shape=(1024,))
+    for device, link in ((LOW_END_PHONE, CELLULAR_4G),
+                         (MID_RANGE_PHONE, WIFI)):
+        print()
+        print("{} over {} ({:.1f}M params):".format(
+            device.name, link.name, profile.total_params / 1e6))
+        print("{:<18} {:>10} {:>10} {:>9}".format(
+            "strategy", "ms", "device mJ", "KB moved"))
+        for report in compare_strategies(profile, device, CLOUD_SERVER, link):
+            print(report.row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""DEEPSERVICE user identification (paper Sec. IV-B).
+
+Generates a synthetic typing-dynamics cohort, analyses the multi-view
+patterns of the most active users (Fig. 6), then runs N-way
+identification against the classical baselines (Table I) and binary
+any-two-users separation.
+
+Run:  python examples/user_identification.py          (quick, 6 users, ~3 min)
+      python examples/user_identification.py --full   (10 users, ~10 min)
+"""
+
+import sys
+
+from repro.core import (
+    binary_identification,
+    format_comparison,
+    run_method_comparison,
+    split_cohort_sessions,
+    user_pattern_summary,
+)
+from repro.synth import TypingDynamicsGenerator
+
+
+def main(full=False):
+    num_users = 10 if full else 6
+    # Sequence models are data-hungry (Fig. 5): give each user enough
+    # sessions for the deep model to reach its regime.
+    sessions = 250 if full else 200
+    generator = TypingDynamicsGenerator(seed=7)
+    cohort = generator.generate_cohort(num_users, sessions)
+
+    print("== Multi-view pattern analysis (Fig. 6), top 5 active users ==")
+    for uid, stats in user_pattern_summary(cohort, top_k=5).items():
+        print("user{}: duration={:.0f}ms gap={:.0f}ms keys/session={:.0f} "
+              "frequent={} accel corr(xy)={:+.2f}".format(
+                  uid, stats["median_duration_ms"], stats["median_gap_ms"],
+                  stats["keys_per_session"], stats["frequent_keys"],
+                  stats["accel_correlations"]["xy"]))
+
+    print()
+    print("== {}-way identification (Table I) ==".format(num_users))
+    print("(the GRU model is data-hungry — Fig. 5; quick mode "
+          "undertrains it relative to benchmarks/test_table1_*)")
+    train, test = split_cohort_sessions(cohort, seed=0)
+    results = run_method_comparison(
+        train, test, label="user", epochs=45 if full else 35,
+        deep_kwargs={"hidden_size": 32, "fusion": "mvm", "fusion_units": 16,
+                     "lr": 0.015, "lr_decay": 0.97},
+    )
+    print(format_comparison(results))
+
+    print()
+    print("== binary identification (any two users) ==")
+    pairs = binary_identification(cohort, max_pairs=3, epochs=12,
+                                  hidden_size=16, fusion_units=16)
+    for result in pairs:
+        print("users {}: accuracy={:.2%} f1={:.2%}".format(
+            result["pair"], result["accuracy"], result["f1"]))
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

@@ -1,0 +1,16 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Deep Learning Towards Mobile Applications' "
+        "(ICDCS 2018): a pure-Python mobile deep-learning toolkit with "
+        "federated training, differential privacy, model compression, "
+        "and private split inference."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

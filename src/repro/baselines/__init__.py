@@ -1,0 +1,15 @@
+"""From-scratch classical baselines used in the paper's Table I."""
+
+from .linear import LinearSVMClassifier, LogisticRegressionClassifier
+from .tree import DecisionTreeClassifier, RegressionTree
+from .forest import RandomForestClassifier
+from .boosting import GradientBoostingClassifier
+
+__all__ = [
+    "LogisticRegressionClassifier",
+    "LinearSVMClassifier",
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+]

@@ -1,0 +1,105 @@
+"""XGBoost-style gradient boosting (Chen & Guestrin, KDD'16).
+
+The paper benchmarks both applications against "the tree boosting system
+XGBoost"; this is a faithful from-scratch reimplementation of its core:
+second-order Taylor expansion of the softmax objective, one regularized
+regression tree per class per round, shrinkage, and row subsampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import RegressionTree
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+class GradientBoostingClassifier:
+    """Multiclass gradient-boosted trees with the softmax objective."""
+
+    def __init__(self, num_rounds=50, learning_rate=0.3, max_depth=4,
+                 reg_lambda=1.0, gamma=0.0, min_child_weight=1.0,
+                 subsample=1.0, colsample="sqrt", seed=0):
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.num_rounds = num_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.subsample = subsample
+        self.colsample = colsample
+        self.seed = seed
+        self.trees_ = []  # list of per-round lists (one tree per class)
+        self.classes_ = None
+
+    def fit(self, features, labels, eval_set=None):
+        """Fit the booster; ``eval_set=(X, y)`` records a held-out loss curve."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        indices = np.searchsorted(self.classes_, labels)
+        n = len(features)
+        c = len(self.classes_)
+        one_hot = np.zeros((n, c))
+        one_hot[np.arange(n), indices] = 1.0
+        rng = np.random.default_rng(self.seed)
+        margins = np.zeros((n, c))
+        self.trees_ = []
+        self.eval_losses_ = []
+        for _ in range(self.num_rounds):
+            shifted = margins - margins.max(axis=1, keepdims=True)
+            probs = np.exp(shifted)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad = probs - one_hot
+            hess = np.maximum(probs * (1.0 - probs), 1e-6)
+            if self.subsample < 1.0:
+                rows = rng.random(n) < self.subsample
+                if not rows.any():
+                    rows[rng.integers(0, n)] = True
+            else:
+                rows = np.ones(n, dtype=bool)
+            round_trees = []
+            for k in range(c):
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_child_weight=self.min_child_weight,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                    max_features=self.colsample,
+                    rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
+                )
+                tree.fit(features[rows], grad[rows, k], hess[rows, k])
+                margins[:, k] += self.learning_rate * tree.predict(features)
+                round_trees.append(tree)
+            self.trees_.append(round_trees)
+            if eval_set is not None:
+                self.eval_losses_.append(self._log_loss(*eval_set))
+        return self
+
+    def decision_function(self, features):
+        if not self.trees_:
+            raise RuntimeError("booster must be fitted first")
+        features = np.asarray(features, dtype=np.float64)
+        margins = np.zeros((len(features), len(self.classes_)))
+        for round_trees in self.trees_:
+            for k, tree in enumerate(round_trees):
+                margins[:, k] += self.learning_rate * tree.predict(features)
+        return margins
+
+    def predict_proba(self, features):
+        margins = self.decision_function(features)
+        margins -= margins.max(axis=1, keepdims=True)
+        probs = np.exp(margins)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, features):
+        return self.classes_[self.decision_function(features).argmax(axis=1)]
+
+    def _log_loss(self, features, labels):
+        probs = self.predict_proba(features)
+        indices = np.searchsorted(self.classes_, np.asarray(labels))
+        picked = np.clip(probs[np.arange(len(labels)), indices], 1e-12, None)
+        return float(-np.log(picked).mean())

@@ -1,0 +1,64 @@
+"""Random forest: bagged gini trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees (Breiman-style).
+
+    Each tree is grown on a bootstrap resample using sqrt(d) random
+    features per split; predictions average the per-tree class
+    probabilities.
+    """
+
+    def __init__(self, num_trees=50, max_depth=14, min_samples_leaf=1,
+                 max_features="sqrt", seed=0):
+        if num_trees <= 0:
+            raise ValueError("num_trees must be positive")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = []
+        self.classes_ = None
+
+    def fit(self, features, labels):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        n = len(features)
+        for _ in range(self.num_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
+            )
+            tree.fit(features[sample], labels[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features):
+        if not self.trees_:
+            raise RuntimeError("forest must be fitted first")
+        total = np.zeros((len(features), len(self.classes_)))
+        for tree in self.trees_:
+            probs = tree.predict_proba(features)
+            # Trees may have seen a label subset in their bootstrap sample;
+            # align their columns with the forest's class list.
+            columns = np.searchsorted(self.classes_, tree.classes_)
+            total[:, columns] += probs
+        return total / len(self.trees_)
+
+    def predict(self, features):
+        return self.classes_[self.predict_proba(features).argmax(axis=1)]

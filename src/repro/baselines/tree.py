@@ -1,0 +1,260 @@
+"""CART decision trees: a gini classifier and a second-order regression tree.
+
+The classification tree is the Table I "Decision Tree" baseline and the
+building block of the random forest; the regression tree fits
+gradient/hessian targets and is the weak learner inside the XGBoost-style
+booster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier", "RegressionTree"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+    def is_leaf(self):
+        return self.feature is None
+
+
+def _best_gini_split(features, indices, class_indices, num_classes,
+                     feature_ids, min_leaf):
+    """Exact best (feature, threshold) by gini impurity over candidate features.
+
+    Uses the sorted-prefix trick: for each feature, sort the node's samples
+    and sweep thresholds with cumulative class counts, so the scan is
+    O(n log n) per feature.
+    """
+    y = class_indices[indices]
+    n = len(indices)
+    counts = np.bincount(y, minlength=num_classes).astype(np.float64)
+    parent_score = 1.0 - ((counts / n) ** 2).sum()
+    best = (None, None, parent_score - 1e-12)
+    for feature in feature_ids:
+        column = features[indices, feature]
+        order = np.argsort(column, kind="stable")
+        sorted_vals = column[order]
+        sorted_y = y[order]
+        one_hot = np.zeros((n, num_classes))
+        one_hot[np.arange(n), sorted_y] = 1.0
+        left_counts = one_hot.cumsum(axis=0)
+        left_n = np.arange(1, n + 1, dtype=np.float64)
+        right_counts = counts - left_counts
+        right_n = n - left_n
+        # Valid split positions: between distinct values, respecting min_leaf.
+        distinct = sorted_vals[1:] != sorted_vals[:-1]
+        positions = np.flatnonzero(distinct) + 1  # split before this index
+        positions = positions[
+            (positions >= min_leaf) & (positions <= n - min_leaf)
+        ]
+        if positions.size == 0:
+            continue
+        li = positions - 1
+        gini_left = 1.0 - ((left_counts[li] / left_n[li, None]) ** 2).sum(axis=1)
+        gini_right = 1.0 - (
+            (right_counts[li] / right_n[li, None]) ** 2
+        ).sum(axis=1)
+        weighted = (left_n[li] * gini_left + right_n[li] * gini_right) / n
+        arg = int(weighted.argmin())
+        if weighted[arg] < best[2]:
+            pos = positions[arg]
+            threshold = 0.5 * (sorted_vals[pos - 1] + sorted_vals[pos])
+            best = (feature, threshold, weighted[arg])
+    return best
+
+
+class DecisionTreeClassifier:
+    """CART classifier with gini impurity and exact threshold search."""
+
+    def __init__(self, max_depth=12, min_samples_split=2, min_samples_leaf=1,
+                 max_features=None, rng=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self.root_ = None
+        self.classes_ = None
+
+    def fit(self, features, labels):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        class_indices = np.searchsorted(self.classes_, labels)
+        num_classes = len(self.classes_)
+        num_features = features.shape[1]
+        if self.max_features is None:
+            k = num_features
+        elif self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(num_features)))
+        else:
+            k = min(int(self.max_features), num_features)
+
+        def build(indices, depth):
+            y = class_indices[indices]
+            counts = np.bincount(y, minlength=num_classes).astype(np.float64)
+            node = _Node(value=counts / counts.sum())
+            if (
+                depth >= self.max_depth
+                or len(indices) < self.min_samples_split
+                or counts.max() == counts.sum()
+            ):
+                return node
+            feature_ids = (
+                np.arange(num_features)
+                if k == num_features
+                else self.rng.choice(num_features, size=k, replace=False)
+            )
+            feature, threshold, _ = _best_gini_split(
+                features, indices, class_indices, num_classes,
+                feature_ids, self.min_samples_leaf,
+            )
+            if feature is None:
+                return node
+            mask = features[indices, feature] <= threshold
+            node.feature = feature
+            node.threshold = threshold
+            node.left = build(indices[mask], depth + 1)
+            node.right = build(indices[~mask], depth + 1)
+            return node
+
+        self.root_ = build(np.arange(len(features)), 0)
+        return self
+
+    def predict_proba(self, features):
+        if self.root_ is None:
+            raise RuntimeError("tree must be fitted first")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty((len(features), len(self.classes_)))
+        for i, row in enumerate(features):
+            node = self.root_
+            while not node.is_leaf():
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def predict(self, features):
+        return self.classes_[self.predict_proba(features).argmax(axis=1)]
+
+    def depth(self):
+        """Actual depth of the fitted tree."""
+        def walk(node):
+            if node is None or node.is_leaf():
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self.root_)
+
+
+class RegressionTree:
+    """Second-order regression tree for gradient boosting.
+
+    Fits gradient ``g`` and hessian ``h`` targets; each leaf outputs the
+    XGBoost-regularized weight ``-G / (H + lambda)`` and splits maximize
+    the standard gain
+
+        1/2 [ G_L^2/(H_L+lam) + G_R^2/(H_R+lam) - G^2/(H+lam) ] - gamma.
+    """
+
+    def __init__(self, max_depth=4, min_child_weight=1.0, reg_lambda=1.0,
+                 gamma=0.0, max_features=None, rng=None):
+        self.max_depth = max_depth
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self.root_ = None
+
+    def fit(self, features, grad, hess):
+        features = np.asarray(features, dtype=np.float64)
+        grad = np.asarray(grad, dtype=np.float64)
+        hess = np.asarray(hess, dtype=np.float64)
+        num_features = features.shape[1]
+        if self.max_features is None:
+            k = num_features
+        elif self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(num_features)))
+        else:
+            k = min(int(self.max_features), num_features)
+
+        def leaf_value(indices):
+            g = grad[indices].sum()
+            h = hess[indices].sum()
+            return -g / (h + self.reg_lambda)
+
+        def score(g, h):
+            return g * g / (h + self.reg_lambda)
+
+        def build(indices, depth):
+            node = _Node(value=leaf_value(indices))
+            if depth >= self.max_depth or len(indices) < 2:
+                return node
+            g_total = grad[indices].sum()
+            h_total = hess[indices].sum()
+            parent = score(g_total, h_total)
+            feature_ids = (
+                np.arange(num_features)
+                if k == num_features
+                else self.rng.choice(num_features, size=k, replace=False)
+            )
+            best_gain = 0.0
+            best = None
+            for feature in feature_ids:
+                column = features[indices, feature]
+                order = np.argsort(column, kind="stable")
+                sorted_vals = column[order]
+                g_cum = grad[indices][order].cumsum()
+                h_cum = hess[indices][order].cumsum()
+                distinct = sorted_vals[1:] != sorted_vals[:-1]
+                positions = np.flatnonzero(distinct) + 1
+                if positions.size == 0:
+                    continue
+                li = positions - 1
+                g_left, h_left = g_cum[li], h_cum[li]
+                g_right, h_right = g_total - g_left, h_total - h_left
+                valid = (h_left >= self.min_child_weight) & (
+                    h_right >= self.min_child_weight
+                )
+                if not valid.any():
+                    continue
+                gains = 0.5 * (
+                    score(g_left, h_left) + score(g_right, h_right) - parent
+                ) - self.gamma
+                gains[~valid] = -np.inf
+                arg = int(gains.argmax())
+                if gains[arg] > best_gain:
+                    pos = positions[arg]
+                    best_gain = gains[arg]
+                    best = (feature, 0.5 * (sorted_vals[pos - 1] + sorted_vals[pos]))
+            if best is None:
+                return node
+            node.feature, node.threshold = best
+            mask = features[indices, node.feature] <= node.threshold
+            node.left = build(indices[mask], depth + 1)
+            node.right = build(indices[~mask], depth + 1)
+            return node
+
+        self.root_ = build(np.arange(len(features)), 0)
+        return self
+
+    def predict(self, features):
+        if self.root_ is None:
+            raise RuntimeError("tree must be fitted first")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty(len(features))
+        for i, row in enumerate(features):
+            node = self.root_
+            while not node.is_leaf():
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out

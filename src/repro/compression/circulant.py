@@ -1,0 +1,122 @@
+"""Structured (circulant) weight matrices — CirCNN (Ding et al., MICRO'17).
+
+"The core idea of structural matrix is to describe an m x n matrix by
+using a structured matrix with much fewer parameters than mn"; CirCNN uses
+block-circulant weights so the matrix-vector product becomes FFT-based
+elementwise multiplication, cutting both storage (O(n) parameters) and
+compute (O(n log n)) — exactly the "fast fourier transform based
+multiplication" the paper credits to [14].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor, as_tensor
+
+__all__ = ["CirculantLinear", "circulant_matvec", "circulant_matrix"]
+
+
+def circulant_matrix(first_row):
+    """Materialize the full circulant matrix (testing/inspection only)."""
+    first_row = np.asarray(first_row, dtype=np.float64)
+    n = len(first_row)
+    return np.stack([np.roll(first_row, shift) for shift in range(n)], axis=0)
+
+
+def circulant_matvec(x, row):
+    """Differentiable y = C x for the circulant C defined by ``row``.
+
+    ``x``: Tensor (batch, n); ``row``: Tensor (n,) — the first *row* of C.
+    Implemented with FFTs: with C_{ij} = row[(j - i) mod n],
+    y = IFFT(conj(FFT(row)) * FFT(x)) computed per batch element.
+
+    Backward uses the adjoint: dL/dx = C^T g (a correlation) and
+    dL/drow = cross-correlation of g with x summed over the batch; both are
+    again O(n log n) via FFT.
+    """
+    x = as_tensor(x)
+    row = as_tensor(row)
+    n = row.data.shape[0]
+    if x.data.shape[-1] != n:
+        raise ValueError("input dimension {} != circulant size {}".format(
+            x.data.shape[-1], n))
+    row_fft = np.fft.rfft(row.data)
+    x_fft = np.fft.rfft(x.data, axis=-1)
+    out_data = np.fft.irfft(np.conj(row_fft) * x_fft, n=n, axis=-1)
+
+    def backward(grad, grads):
+        grad_fft = np.fft.rfft(grad, axis=-1)
+        # dL/dx = C^T g: (C^T)_{ij} = row[(i - j) mod n] -> plain circular conv.
+        gx = np.fft.irfft(row_fft * grad_fft, n=n, axis=-1)
+        # dL/drow[k] = sum_b sum_i g[b, i] x[b, (i + k) mod n]
+        grow = np.fft.irfft((np.conj(grad_fft) * x_fft).sum(axis=0), n=n)
+        Tensor._send(grads, x, gx)
+        Tensor._send(grads, row, grow)
+
+    return Tensor._make(out_data, (x, row), backward)
+
+
+class CirculantLinear(Module):
+    """Linear layer whose weight is block-circulant.
+
+    The (out, in) weight is tiled with b x b circulant blocks (b =
+    ``block_size``), each defined by a single length-b vector, so parameter
+    count drops from out*in to out*in/b.  Inputs/outputs are zero-padded to
+    multiples of b internally.
+    """
+
+    def __init__(self, in_features, out_features, block_size=None, bias=True,
+                 rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.block_size = block_size or int(np.gcd(in_features, out_features))
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.blocks_in = -(-in_features // self.block_size)
+        self.blocks_out = -(-out_features // self.block_size)
+        scale = np.sqrt(2.0 / in_features)
+        self._block_names = []
+        for i in range(self.blocks_out):
+            for j in range(self.blocks_in):
+                name = "row_{}_{}".format(i, j)
+                setattr(self, name, Parameter(
+                    rng.normal(0.0, scale, size=self.block_size)
+                ))
+                self._block_names.append(name)
+        # A small positive bias keeps ReLU stacks of shared-weight blocks
+        # from dying wholesale at unlucky initializations.
+        self.bias = Parameter(np.full(out_features, 0.01)) if bias else None
+
+    def forward(self, x):
+        from ..tensor import concat
+
+        b = self.block_size
+        padded_in = self.blocks_in * b
+        if x.shape[-1] < padded_in:
+            pad = Tensor(np.zeros(x.shape[:-1] + (padded_in - x.shape[-1],)))
+            x = concat([x, pad], axis=-1)
+        outputs = []
+        for i in range(self.blocks_out):
+            acc = None
+            for j in range(self.blocks_in):
+                row = getattr(self, "row_{}_{}".format(i, j))
+                piece = circulant_matvec(x[:, j * b:(j + 1) * b], row)
+                acc = piece if acc is None else acc + piece
+            outputs.append(acc)
+        out = concat(outputs, axis=1)
+        out = out[:, :self.out_features]
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def num_weight_parameters(self):
+        """Parameters in the structured weight (excluding bias)."""
+        return self.blocks_in * self.blocks_out * self.block_size
+
+    def dense_equivalent_parameters(self):
+        """Parameters an unstructured Linear of the same shape would need."""
+        return self.in_features * self.out_features

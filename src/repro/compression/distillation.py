@@ -1,0 +1,91 @@
+"""Knowledge distillation (Hinton et al.) — "model distillation compresses
+the DNNs into shallower ones by mimicking the function of the original
+complex DNN ... transferring knowledge from a large teacher model into a
+small student model" (Sec. III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import losses
+from ..optim import Adam
+from ..tensor import Tensor, no_grad
+
+__all__ = ["DistillationTrainer"]
+
+
+class DistillationTrainer:
+    """Train a small student to mimic a large (frozen) teacher.
+
+    Parameters
+    ----------
+    teacher:
+        Trained model whose soft predictions supervise the student.
+    student:
+        Smaller model trained in place.
+    temperature:
+        Softmax temperature for the soft targets; higher temperatures
+        expose more of the teacher's "dark knowledge".
+    alpha:
+        Weight of the soft (teacher-matching) term vs the hard labels.
+    """
+
+    def __init__(self, teacher, student, temperature=3.0, alpha=0.7,
+                 lr=0.01, seed=0):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.teacher = teacher
+        self.student = student
+        self.temperature = temperature
+        self.alpha = alpha
+        self.optimizer = Adam(student.parameters(), lr=lr)
+        self.rng = np.random.default_rng(seed)
+
+    def teacher_logits(self, features):
+        """Frozen-teacher logits (no graph is recorded)."""
+        self.teacher.eval()
+        with no_grad():
+            return self.teacher(Tensor(np.asarray(features))).numpy()
+
+    def train(self, features, labels, epochs=5, batch_size=32):
+        """Distill for ``epochs``; returns the final training loss."""
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        soft_targets = self.teacher_logits(features)
+        n = len(features)
+        last_loss = float("nan")
+        self.student.train()
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, batch_size):
+                picks = order[start:start + batch_size]
+                self.optimizer.zero_grad()
+                logits = self.student(Tensor(features[picks]))
+                loss = losses.distillation_loss(
+                    logits, soft_targets[picks], labels[picks],
+                    temperature=self.temperature, alpha=self.alpha,
+                )
+                loss.backward()
+                self.optimizer.step()
+                last_loss = loss.item()
+        return last_loss
+
+    def evaluate(self, features, labels):
+        """Student accuracy."""
+        self.student.eval()
+        with no_grad():
+            logits = self.student(Tensor(np.asarray(features)))
+        self.student.train()
+        return float((logits.numpy().argmax(axis=1) == np.asarray(labels)).mean())
+
+    def agreement(self, features):
+        """Fraction of inputs where student and teacher argmax agree."""
+        teacher_pred = self.teacher_logits(features).argmax(axis=1)
+        self.student.eval()
+        with no_grad():
+            student_pred = self.student(
+                Tensor(np.asarray(features))).numpy().argmax(axis=1)
+        self.student.train()
+        return float((teacher_pred == student_pred).mean())

@@ -1,0 +1,71 @@
+"""Low-rank factorization of weight matrices (Denton et al., NIPS'14).
+
+"A 4D tensor usually has a large amount of redundancy which can be removed
+by the low-rank factorization ... the fully-connected layer can be
+considered as a 2D matrix so the low-rank factorization can also be
+employed" (Sec. III-B).  We factorize Linear layers W (out x in) into
+B @ A with A: (rank x in) and B: (out x rank) via truncated SVD, replacing
+one layer with two thinner ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["factorize_linear", "factorize_model", "rank_for_energy"]
+
+
+def rank_for_energy(singular_values, energy=0.9):
+    """Smallest rank capturing ``energy`` of the squared spectral mass."""
+    if not 0.0 < energy <= 1.0:
+        raise ValueError("energy must be in (0, 1]")
+    squared = np.asarray(singular_values, dtype=np.float64) ** 2
+    cumulative = np.cumsum(squared) / squared.sum()
+    return int(np.searchsorted(cumulative, energy) + 1)
+
+
+def factorize_linear(layer, rank=None, energy=0.9):
+    """Split one Linear layer into a rank-``rank`` pair of Linear layers.
+
+    Returns (Sequential(inner, outer), achieved_rank).  The bias moves to
+    the outer layer.  If ``rank`` is None it is chosen by spectral energy.
+    """
+    weight = layer.weight.data
+    u, s, vt = np.linalg.svd(weight, full_matrices=False)
+    if rank is None:
+        rank = rank_for_energy(s, energy=energy)
+    rank = int(min(max(rank, 1), len(s)))
+    inner = nn.Linear(layer.in_features, rank, bias=False)
+    outer = nn.Linear(rank, layer.out_features, bias=layer.bias is not None)
+    inner.weight.data = (np.sqrt(s[:rank])[:, None] * vt[:rank]).copy()
+    outer.weight.data = (u[:, :rank] * np.sqrt(s[:rank])[None, :]).copy()
+    if layer.bias is not None:
+        outer.bias.data = layer.bias.data.copy()
+    return nn.Sequential(inner, outer), rank
+
+
+def factorize_model(model, rank=None, energy=0.9, min_params=512):
+    """Factorize every large-enough Linear inside a Sequential model.
+
+    Returns (new Sequential, report list of (index, old_params, new_params,
+    rank)).  Layers whose factorization would not shrink them are kept.
+    """
+    if not isinstance(model, nn.Sequential):
+        raise TypeError("factorize_model expects a Sequential model")
+    new_layers = []
+    report = []
+    for index, module in enumerate(model):
+        if isinstance(module, nn.Linear) and module.weight.data.size >= min_params:
+            pair, achieved = factorize_linear(module, rank=rank, energy=energy)
+            old_params = module.weight.data.size + (
+                module.bias.data.size if module.bias is not None else 0
+            )
+            new_params = sum(p.data.size for p in pair.parameters())
+            if new_params < old_params:
+                new_layers.append(pair)
+                report.append((index, old_params, new_params, achieved))
+                continue
+        new_layers.append(module)
+    return nn.Sequential(*new_layers), report

@@ -1,0 +1,149 @@
+"""Network quantization: k-means weight sharing and uniform k-bit codes.
+
+"Network quantization compresses the DNN by reducing the bits required to
+depict the parameters in the network" (Sec. III-B).  Two schemes:
+
+* :func:`kmeans_quantize` — trained quantization / weight sharing as in
+  Deep Compression: cluster the weights of a layer into 2^bits centroids
+  and store per-weight cluster indices plus the codebook;
+* :func:`uniform_quantize` — symmetric linear quantization (the int8-style
+  scheme of Gupta et al. / Wu et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "kmeans_quantize",
+    "uniform_quantize",
+    "quantize_model",
+    "quantization_error",
+]
+
+
+@dataclass
+class QuantizedTensor:
+    """A quantized weight array: indices into a shared codebook."""
+
+    codebook: np.ndarray   # (levels,)
+    indices: np.ndarray    # original shape, integer dtype
+    bits: int
+    scheme: str
+
+    def dequantize(self):
+        """Reconstruct the float array."""
+        return self.codebook[self.indices]
+
+    @property
+    def shape(self):
+        return self.indices.shape
+
+    def storage_bits(self):
+        """Index bits per weight plus the 32-bit codebook entries."""
+        return int(self.indices.size * self.bits + self.codebook.size * 32)
+
+
+def _lloyd(values, num_levels, rng, max_iter=40):
+    """1-D k-means (Lloyd's algorithm) with linear initialization."""
+    low, high = float(values.min()), float(values.max())
+    if low == high:
+        return np.array([low]), np.zeros(len(values), dtype=np.int64)
+    centroids = np.linspace(low, high, num_levels)
+    assignment = None
+    for _ in range(max_iter):
+        distances = np.abs(values[:, None] - centroids[None, :])
+        new_assignment = distances.argmin(axis=1)
+        if assignment is not None and np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for level in range(num_levels):
+            members = values[assignment == level]
+            if len(members):
+                centroids[level] = members.mean()
+            else:
+                # Re-seed empty clusters at a random datum.
+                centroids[level] = values[rng.integers(0, len(values))]
+    order = np.argsort(centroids)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(num_levels)
+    return centroids[order], remap[assignment]
+
+
+def kmeans_quantize(weights, bits=5, skip_zeros=True, rng=None):
+    """Weight sharing: cluster weights into 2^bits shared values.
+
+    ``skip_zeros=True`` keeps exact zeros (pruned connections) at zero and
+    reserves codebook index 0 for them, matching Deep Compression where
+    quantization runs after pruning.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    rng = rng or np.random.default_rng(0)
+    weights = np.asarray(weights, dtype=np.float64)
+    flat = weights.reshape(-1)
+    indices = np.zeros(flat.size, dtype=np.int64)
+    if skip_zeros:
+        nonzero = np.flatnonzero(flat != 0.0)
+        levels = max(2 ** bits - 1, 1)
+        if len(nonzero) == 0:
+            codebook = np.array([0.0])
+            return QuantizedTensor(codebook, indices.reshape(weights.shape),
+                                   bits, "kmeans")
+        centroids, assignment = _lloyd(flat[nonzero], min(levels, len(nonzero)), rng)
+        codebook = np.concatenate([[0.0], centroids])
+        indices[nonzero] = assignment + 1
+    else:
+        centroids, assignment = _lloyd(flat, 2 ** bits, rng)
+        codebook = centroids
+        indices = assignment
+    return QuantizedTensor(codebook, indices.reshape(weights.shape), bits, "kmeans")
+
+
+def uniform_quantize(weights, bits=8):
+    """Symmetric linear quantization to 2^bits levels."""
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    weights = np.asarray(weights, dtype=np.float64)
+    max_abs = float(np.abs(weights).max())
+    levels = 2 ** (bits - 1) - 1
+    if max_abs == 0.0:
+        codebook = np.zeros(1)
+        return QuantizedTensor(codebook, np.zeros(weights.shape, dtype=np.int64),
+                               bits, "uniform")
+    scale = max_abs / levels
+    quantized = np.clip(np.round(weights / scale), -levels, levels).astype(np.int64)
+    codebook = np.arange(-levels, levels + 1) * scale
+    return QuantizedTensor(codebook, quantized + levels, bits, "uniform")
+
+
+def quantization_error(weights, quantized):
+    """Root-mean-square reconstruction error."""
+    weights = np.asarray(weights, dtype=np.float64)
+    return float(np.sqrt(((weights - quantized.dequantize()) ** 2).mean()))
+
+
+def quantize_model(model, bits=5, scheme="kmeans", rng=None):
+    """Quantize every >=2-D parameter in place; returns {name: QuantizedTensor}.
+
+    The model keeps working (weights are replaced with their dequantized
+    values); the returned mapping carries the compact representation for
+    size accounting and Huffman coding.
+    """
+    rng = rng or np.random.default_rng(0)
+    quantized = {}
+    for name, param in model.named_parameters():
+        if param.data.ndim < 2:
+            continue
+        if scheme == "kmeans":
+            q = kmeans_quantize(param.data, bits=bits, rng=rng)
+        elif scheme == "uniform":
+            q = uniform_quantize(param.data, bits=bits)
+        else:
+            raise ValueError("unknown scheme '{}'".format(scheme))
+        param.data = q.dequantize()
+        quantized[name] = q
+    return quantized

@@ -1,0 +1,45 @@
+"""The paper's applications: DeepMood and DEEPSERVICE (Sec. IV)."""
+
+from .features import (
+    DEFAULT_MAX_LENGTHS,
+    VIEW_NAMES,
+    flat_feature_names,
+    prepare_views,
+    session_flat_features,
+    sessions_to_dataset,
+    sessions_to_flat,
+    user_pattern_summary,
+)
+from .model import MultiViewGRUClassifier
+from .trainer import SequenceTrainer
+from .deepmood import DeepMood, per_participant_accuracy
+from .deepservice import DeepService, binary_identification
+from .experiments import (
+    baseline_zoo,
+    evaluate_baselines,
+    format_comparison,
+    run_method_comparison,
+    split_cohort_sessions,
+)
+
+__all__ = [
+    "DEFAULT_MAX_LENGTHS",
+    "VIEW_NAMES",
+    "flat_feature_names",
+    "prepare_views",
+    "session_flat_features",
+    "sessions_to_dataset",
+    "sessions_to_flat",
+    "user_pattern_summary",
+    "MultiViewGRUClassifier",
+    "SequenceTrainer",
+    "DeepMood",
+    "per_participant_accuracy",
+    "DeepService",
+    "binary_identification",
+    "baseline_zoo",
+    "evaluate_baselines",
+    "format_comparison",
+    "run_method_comparison",
+    "split_cohort_sessions",
+]

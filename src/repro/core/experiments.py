@@ -1,0 +1,125 @@
+"""Shared experiment harness: deep models vs the classical baselines.
+
+Used by the Table I benchmark (DEEPSERVICE vs LR/SVM/DT/RF/XGBoost) and
+the Sec. IV-A headline comparison (DeepMood vs the same baselines on the
+mood task).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+    RandomForestClassifier,
+)
+from ..data import StandardScaler, accuracy, f1_score
+from .deepmood import DeepMood
+from .deepservice import DeepService
+from .features import sessions_to_flat
+
+__all__ = ["baseline_zoo", "evaluate_baselines", "run_method_comparison",
+           "split_cohort_sessions"]
+
+
+def baseline_zoo(seed=0):
+    """The Table I baseline lineup, in the paper's order."""
+    return [
+        ("LR", LogisticRegressionClassifier()),
+        ("SVM", LinearSVMClassifier()),
+        ("Decision Tree", DecisionTreeClassifier(max_depth=12)),
+        ("RandomForest", RandomForestClassifier(num_trees=60, max_depth=20,
+                                                seed=seed)),
+        ("XGBoost", GradientBoostingClassifier(num_rounds=100, max_depth=5,
+                                               learning_rate=0.25,
+                                               subsample=0.8, colsample=None,
+                                               seed=seed)),
+    ]
+
+
+def split_cohort_sessions(cohort, test_fraction=0.25, seed=0):
+    """Per-user random split of every user's sessions into train/test."""
+    rng = np.random.default_rng(seed)
+    train, test = [], []
+    for uid in cohort.user_ids():
+        sessions = cohort.sessions[uid]
+        order = rng.permutation(len(sessions))
+        cut = max(1, int(round(len(sessions) * test_fraction)))
+        test.extend(sessions[i] for i in order[:cut])
+        train.extend(sessions[i] for i in order[cut:])
+    return train, test
+
+
+def evaluate_baselines(train_sessions, test_sessions, label="user", seed=0,
+                       f1_average="weighted"):
+    """Fit every classical baseline on flat features; returns {name: metrics}."""
+    train_x, train_y = sessions_to_flat(train_sessions, label=label)
+    test_x, test_y = sessions_to_flat(test_sessions, label=label)
+    scaler = StandardScaler()
+    train_x = scaler.fit_transform(train_x)
+    test_x = scaler.transform(test_x)
+    num_classes = int(max(train_y.max(), test_y.max())) + 1
+    results = {}
+    for name, model in baseline_zoo(seed=seed):
+        model.fit(train_x, train_y)
+        predictions = model.predict(test_x)
+        results[name] = {
+            "accuracy": accuracy(test_y, predictions),
+            "f1": f1_score(test_y, predictions, average=f1_average,
+                           num_classes=num_classes),
+        }
+    return results
+
+
+def run_method_comparison(train_sessions, test_sessions, label="user",
+                          epochs=8, seed=0, deep_kwargs=None,
+                          f1_average="weighted"):
+    """Full comparison: all baselines plus the deep model for ``label``.
+
+    Returns an ordered {method: {'accuracy', 'f1'}} dict ending with the
+    deep model ('DEEPSERVICE' or 'DeepMood'), matching the paper's tables.
+    """
+    deep_kwargs = dict(deep_kwargs or {})
+    results = evaluate_baselines(train_sessions, test_sessions, label=label,
+                                 seed=seed, f1_average=f1_average)
+    if label == "user":
+        num_users = int(max(s.user_id for s in train_sessions)) + 1
+        deep = DeepService(num_users=num_users, seed=seed, **deep_kwargs)
+        deep_name = "DEEPSERVICE"
+    else:
+        deep = DeepMood(seed=seed, **deep_kwargs)
+        deep_name = "DeepMood"
+    # Hold out a stratified validation slice of the *training* sessions
+    # for early stopping; the test sessions are never seen during fitting.
+    from ..data import stratified_split
+
+    rng = np.random.default_rng(seed)
+    strata = np.array([
+        s.user_id if label == "user" else s.mood_label
+        for s in train_sessions
+    ])
+    fit_idx, val_idx = stratified_split(strata, test_fraction=0.15, rng=rng)
+    validation = [train_sessions[i] for i in val_idx]
+    fitting = [train_sessions[i] for i in fit_idx]
+    deep.fit(fitting, epochs=epochs, eval_sessions=validation)
+    metrics = deep.evaluate(test_sessions)
+    results[deep_name] = {
+        "accuracy": metrics["accuracy"],
+        "f1": metrics["f1_weighted" if f1_average == "weighted" else "f1_macro"],
+    }
+    return results
+
+
+def format_comparison(results, caption=""):
+    """Render a {method: metrics} dict as a Table I-style text table."""
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append("{:<15} {:>9} {:>9}".format("Method", "Accuracy", "F1"))
+    for name, metrics in results.items():
+        lines.append("{:<15} {:>8.2f}% {:>8.2f}%".format(
+            name, 100 * metrics["accuracy"], 100 * metrics["f1"]))
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Session feature preparation for DeepMood / DEEPSERVICE.
+
+Two representations are produced from the same sessions:
+
+* **multi-view sequences** for the deep models — each view truncated (and,
+  for the dense accelerometer, strided) to a bounded length, exactly as
+  the original work truncates long sessions;
+* **flat aggregate features** for the classical baselines (LR, SVM, trees,
+  boosting) — per-view summary statistics.  These deliberately discard the
+  temporal ordering, which is the paper's explanation for why shallow
+  models trail the sequence models.
+
+Also provides the per-user pattern summaries behind Fig. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MultiViewSequenceDataset
+from ..synth.typing_dynamics import SPECIAL_KEYS
+
+__all__ = [
+    "VIEW_NAMES",
+    "DEFAULT_MAX_LENGTHS",
+    "prepare_views",
+    "sessions_to_dataset",
+    "session_flat_features",
+    "sessions_to_flat",
+    "flat_feature_names",
+    "user_pattern_summary",
+]
+
+VIEW_NAMES = ("alphanumeric", "special", "accelerometer")
+
+#: Per-view truncation lengths (accelerometer is also strided by 4).
+DEFAULT_MAX_LENGTHS = {"alphanumeric": 30, "special": 12, "accelerometer": 40}
+
+_ACCEL_STRIDE = 4
+
+
+def prepare_views(session, max_lengths=None):
+    """Truncate/stride one session's views to bounded-length sequences.
+
+    Keypress durations and inter-key gaps are log-transformed
+    (``log1p(x / 50ms)``): typing times are heavy-tailed and multiplicative
+    (tempo x rhythm x noise), so the log domain is the natural scale for
+    both the sequence models and the aggregate statistics.
+    """
+    limits = dict(DEFAULT_MAX_LENGTHS)
+    if max_lengths:
+        limits.update(max_lengths)
+    alnum = session.alphanumeric[:limits["alphanumeric"]].copy()
+    alnum[:, 0] = np.log1p(alnum[:, 0] / 0.05)
+    alnum[:, 1] = np.log1p(alnum[:, 1] / 0.05)
+    special = session.special[:limits["special"]]
+    accel = session.accelerometer[::_ACCEL_STRIDE][:limits["accelerometer"]]
+    return alnum, special, accel
+
+
+def sessions_to_dataset(sessions, label="user", max_lengths=None):
+    """Build a :class:`MultiViewSequenceDataset` from session objects.
+
+    ``label`` selects the task: 'user' (DEEPSERVICE identification) or
+    'mood' (DeepMood binary disturbance).
+    """
+    if label not in ("user", "mood"):
+        raise ValueError("label must be 'user' or 'mood'")
+    views = [[], [], []]
+    labels = []
+    for session in sessions:
+        alnum, special, accel = prepare_views(session, max_lengths)
+        views[0].append(alnum)
+        views[1].append(special)
+        views[2].append(accel)
+        labels.append(session.user_id if label == "user" else session.mood_label)
+    return MultiViewSequenceDataset(views, np.asarray(labels),
+                                    view_names=list(VIEW_NAMES))
+
+
+def session_flat_features(session, max_lengths=None):
+    """Aggregate (order-free) statistics of one session for shallow models.
+
+    Statistics are computed over the *same truncated views* the deep models
+    receive (:func:`prepare_views`), so the comparison isolates what the
+    temporal ordering is worth rather than how much raw data each method
+    sees.
+    """
+    alnum, special, accel = prepare_views(session, max_lengths)
+    durations, gaps = alnum[:, 0], alnum[:, 1]
+    dx, dy = alnum[:, 2], alnum[:, 3]
+    alnum_stats = [
+        durations.mean(), durations.std(), np.median(durations),
+        gaps.mean(), gaps.std(), np.median(gaps),
+        np.percentile(gaps, 90),
+        float(len(alnum)),
+        np.abs(dx).mean(), np.abs(dy).mean(),
+    ]
+    counts = special.sum(axis=0)
+    special_stats = list(counts) + [counts.sum() / max(len(alnum), 1)]
+    means = accel.mean(axis=0)
+    stds = accel.std(axis=0)
+    if len(accel) > 1 and (stds > 0).all():
+        corr = np.corrcoef(accel.T)
+        correlations = [corr[0, 1], corr[0, 2], corr[1, 2]]
+    else:
+        correlations = [0.0, 0.0, 0.0]
+    accel_stats = list(means) + list(stds) + correlations
+    return np.array(alnum_stats + special_stats + accel_stats, dtype=np.float64)
+
+
+def flat_feature_names():
+    """Names aligned with :func:`session_flat_features` output order."""
+    names = [
+        "duration_mean", "duration_std", "duration_median",
+        "gap_mean", "gap_std", "gap_median", "gap_p90",
+        "num_keys", "abs_dx_mean", "abs_dy_mean",
+    ]
+    names += ["count_{}".format(key) for key in SPECIAL_KEYS]
+    names += ["special_per_key"]
+    names += ["accel_mean_{}".format(a) for a in "xyz"]
+    names += ["accel_std_{}".format(a) for a in "xyz"]
+    names += ["accel_corr_xy", "accel_corr_xz", "accel_corr_yz"]
+    return names
+
+
+def sessions_to_flat(sessions, label="user"):
+    """(X, y) aggregate-feature arrays for the classical baselines."""
+    if label not in ("user", "mood"):
+        raise ValueError("label must be 'user' or 'mood'")
+    features = np.stack([session_flat_features(s) for s in sessions])
+    labels = np.array([
+        s.user_id if label == "user" else s.mood_label for s in sessions
+    ])
+    return features, labels
+
+
+def user_pattern_summary(cohort, top_k=5):
+    """Fig. 6-style multi-view pattern analysis of the most active users.
+
+    For each of the ``top_k`` users with the most sessions, report:
+
+    * alphabet view — median keypress duration, median time since last
+      key, keystrokes per session;
+    * symbol view — median per-session count of the *frequent* keys
+      (auto-correct, backspace, space) and the rate of *infrequent* keys;
+    * acceleration view — the three inter-axis correlation coefficients.
+    """
+    ranked = sorted(cohort.user_ids(),
+                    key=lambda uid: -len(cohort.sessions[uid]))[:top_k]
+    summary = {}
+    for uid in ranked:
+        sessions = cohort.sessions[uid]
+        durations = [np.median(s.alphanumeric[:, 0]) for s in sessions]
+        gaps = [np.median(s.alphanumeric[:, 1]) for s in sessions]
+        keys = [len(s.alphanumeric) for s in sessions]
+        counts = np.stack([s.special.sum(axis=0) for s in sessions])
+        per_session = counts.mean(axis=0)
+        frequent = per_session >= 2.0
+        correlations = []
+        for s in sessions:
+            if len(s.accelerometer) > 1:
+                corr = np.corrcoef(s.accelerometer.T)
+                correlations.append([corr[0, 1], corr[0, 2], corr[1, 2]])
+        correlations = (np.mean(correlations, axis=0)
+                        if correlations else np.zeros(3))
+        summary[uid] = {
+            "sessions": len(sessions),
+            "median_duration_ms": float(np.median(durations) * 1000),
+            "median_gap_ms": float(np.median(gaps) * 1000),
+            "keys_per_session": float(np.mean(keys)),
+            "frequent_keys": [
+                key for key, flag in zip(SPECIAL_KEYS, frequent) if flag
+            ],
+            "special_counts": {
+                key: float(value)
+                for key, value in zip(SPECIAL_KEYS, per_session)
+            },
+            "accel_correlations": {
+                "xy": float(correlations[0]),
+                "xz": float(correlations[1]),
+                "yz": float(correlations[2]),
+            },
+        }
+    return summary

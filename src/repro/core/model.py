@@ -1,0 +1,93 @@
+"""The shared multi-view sequence architecture behind DeepMood and DEEPSERVICE.
+
+Both applications use the same two-stage late-fusion design (Fig. 4):
+stage one models each view's time series with a GRU; stage two fuses the
+final hidden vectors with one of three heads — fully connected (Eq. 2),
+Factorization Machine (Eq. 3), or Multi-view Machine (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+__all__ = ["MultiViewGRUClassifier"]
+
+FUSIONS = ("fc", "fm", "mvm")
+
+
+class MultiViewGRUClassifier(nn.Module):
+    """One GRU per view, fused into class scores.
+
+    Parameters
+    ----------
+    view_dims:
+        Input feature dimension of each view.
+    hidden_size:
+        GRU hidden units d_h (shared across views).
+    num_classes:
+        Output classes c (2 for mood disturbance, N for user id).
+    fusion:
+        'fc' (Eq. 2), 'fm' (Eq. 3), or 'mvm' (Eq. 4).
+    fusion_units:
+        Hidden units k' of the FC head, or factor units k of FM/MVM.
+    bidirectional:
+        If True each view is encoded forward and backward (d = 2 m d_h).
+    """
+
+    def __init__(self, view_dims, hidden_size=16, num_classes=2, fusion="fc",
+                 fusion_units=8, bidirectional=False, dropout=0.25, seed=0):
+        super().__init__()
+        if fusion not in FUSIONS:
+            raise ValueError("fusion must be one of {}".format(FUSIONS))
+        rng = np.random.default_rng(seed)
+        self.dropout = nn.Dropout(dropout, rng=np.random.default_rng(seed + 1))
+        self.view_dims = tuple(view_dims)
+        self.hidden_size = hidden_size
+        self.num_classes = num_classes
+        self.fusion_kind = fusion
+        self.bidirectional = bidirectional
+        self._encoder_names = []
+        for index, dim in enumerate(self.view_dims):
+            name = "encoder{}".format(index)
+            if bidirectional:
+                layer = nn.Bidirectional(
+                    nn.GRU(dim, hidden_size, rng=rng),
+                    nn.GRU(dim, hidden_size, rng=rng),
+                )
+            else:
+                layer = nn.GRU(dim, hidden_size, rng=rng)
+            setattr(self, name, layer)
+            self._encoder_names.append(name)
+        per_view = hidden_size * (2 if bidirectional else 1)
+        sizes = [per_view] * len(self.view_dims)
+        if fusion == "fc":
+            self.fusion = nn.FullyConnectedFusion(
+                sizes, fusion_units, num_classes, rng=rng)
+        elif fusion == "fm":
+            self.fusion = nn.FactorizationMachineFusion(
+                sizes, fusion_units, num_classes, rng=rng)
+        else:
+            self.fusion = nn.MultiViewMachineFusion(
+                sizes, fusion_units, num_classes, rng=rng)
+
+    def forward(self, views):
+        """Classify a batch of padded views.
+
+        ``views`` is a list of (padded_array, mask) pairs — the output of
+        :func:`repro.data.collate_multiview` — or of bare arrays.
+        """
+        if len(views) != len(self.view_dims):
+            raise ValueError("expected {} views, got {}".format(
+                len(self.view_dims), len(views)))
+        encoded = []
+        for name, view in zip(self._encoder_names, views):
+            if isinstance(view, tuple):
+                padded, mask = view
+            else:
+                padded, mask = view, None
+            tensor = padded if isinstance(padded, Tensor) else Tensor(padded)
+            encoded.append(self.dropout(getattr(self, name)(tensor, mask=mask)))
+        return self.fusion(encoded)

@@ -1,0 +1,118 @@
+"""Training loop for the multi-view sequence classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DataLoader, SequenceScaler, accuracy, f1_score
+from ..nn import losses
+from ..optim import Adam
+from ..tensor import no_grad
+
+__all__ = ["SequenceTrainer"]
+
+
+class SequenceTrainer:
+    """Fits a :class:`~repro.core.model.MultiViewGRUClassifier`.
+
+    Handles per-view standardization (fitted on training data only),
+    padded mini-batching, and evaluation.
+    """
+
+    def __init__(self, model, lr=0.01, batch_size=32, lr_decay=0.97, seed=0):
+        self.model = model
+        self.batch_size = batch_size
+        self.lr_decay = lr_decay
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        self.rng = np.random.default_rng(seed)
+        self.scalers = None
+        self.classes_ = None
+        self.history = []
+
+    def _fit_scalers(self, dataset):
+        self.scalers = []
+        for view in dataset.views:
+            scaler = SequenceScaler()
+            scaler.fit(view)
+            self.scalers.append(scaler)
+
+    def _scaled(self, dataset):
+        from ..data import MultiViewSequenceDataset
+
+        views = [
+            scaler.transform(view)
+            for scaler, view in zip(self.scalers, dataset.views)
+        ]
+        return MultiViewSequenceDataset(views, dataset.labels,
+                                        dataset.view_names)
+
+    def fit(self, dataset, epochs=8, eval_dataset=None, verbose=False,
+            keep_best=True):
+        """Train for ``epochs``; logs (epoch, train_loss[, eval_acc]).
+
+        With ``keep_best`` and an ``eval_dataset``, the parameters from the
+        best evaluation epoch are restored at the end (early stopping).
+        """
+        self._fit_scalers(dataset)
+        labels = np.asarray(dataset.labels)
+        self.classes_ = np.unique(labels)
+        index_of = {value: i for i, value in enumerate(self.classes_)}
+        scaled = self._scaled(dataset)
+        loader = DataLoader(scaled, batch_size=self.batch_size, shuffle=True,
+                            rng=self.rng)
+        self.history = []
+        best_accuracy = -1.0
+        best_state = None
+        for epoch in range(epochs):
+            self.model.train()
+            epoch_losses = []
+            for views, batch_labels in loader:
+                targets = np.array([index_of[v] for v in batch_labels])
+                self.optimizer.zero_grad()
+                logits = self.model(views)
+                loss = losses.cross_entropy(logits, targets)
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            self.optimizer.lr *= self.lr_decay
+            record = {"epoch": epoch, "loss": float(np.mean(epoch_losses))}
+            if eval_dataset is not None:
+                record["eval_accuracy"] = self.evaluate(eval_dataset)["accuracy"]
+                if keep_best and record["eval_accuracy"] > best_accuracy:
+                    best_accuracy = record["eval_accuracy"]
+                    best_state = self.model.state_dict()
+            if verbose:
+                print("epoch {epoch}: loss={loss:.4f}".format(**record)
+                      + (" acc={:.4f}".format(record["eval_accuracy"])
+                         if eval_dataset is not None else ""))
+            self.history.append(record)
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self
+
+    def predict(self, dataset):
+        """Predicted labels (in original label space) for a dataset."""
+        if self.scalers is None:
+            raise RuntimeError("trainer must be fitted first")
+        scaled = self._scaled(dataset)
+        loader = DataLoader(scaled, batch_size=self.batch_size, shuffle=False)
+        outputs = []
+        self.model.eval()
+        with no_grad():
+            for views, _ in loader:
+                logits = self.model(views)
+                outputs.append(logits.numpy().argmax(axis=1))
+        return self.classes_[np.concatenate(outputs)]
+
+    def evaluate(self, dataset):
+        """{'accuracy', 'f1_macro', 'f1_weighted'} on a dataset."""
+        predictions = self.predict(dataset)
+        labels = np.asarray(dataset.labels)
+        num_classes = int(max(labels.max(), predictions.max())) + 1
+        return {
+            "accuracy": accuracy(labels, predictions),
+            "f1_macro": f1_score(labels, predictions, average="macro",
+                                 num_classes=num_classes),
+            "f1_weighted": f1_score(labels, predictions, average="weighted",
+                                    num_classes=num_classes),
+        }

@@ -1,0 +1,35 @@
+"""Datasets, loaders, metrics, and preprocessing."""
+
+from .dataset import (
+    ArrayDataset,
+    MultiViewSequenceDataset,
+    stratified_split,
+    train_test_split,
+)
+from .loader import DataLoader, collate_multiview, pad_sequences
+from .metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+from .preprocess import MinMaxScaler, SequenceScaler, StandardScaler
+
+__all__ = [
+    "ArrayDataset",
+    "MultiViewSequenceDataset",
+    "stratified_split",
+    "train_test_split",
+    "DataLoader",
+    "collate_multiview",
+    "pad_sequences",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "f1_score",
+    "precision_recall_f1",
+    "MinMaxScaler",
+    "SequenceScaler",
+    "StandardScaler",
+]

@@ -1,0 +1,110 @@
+"""Dataset containers and splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ArrayDataset",
+    "MultiViewSequenceDataset",
+    "train_test_split",
+    "stratified_split",
+]
+
+
+class ArrayDataset:
+    """A dataset of fixed-size feature vectors with labels."""
+
+    def __init__(self, features, labels):
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels)
+        if len(self.features) != len(self.labels):
+            raise ValueError(
+                "features ({}) and labels ({}) disagree in length".format(
+                    len(self.features), len(self.labels)
+                )
+            )
+
+    def __len__(self):
+        return len(self.features)
+
+    def __getitem__(self, index):
+        return self.features[index], self.labels[index]
+
+    def subset(self, indices):
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return ArrayDataset(self.features[indices], self.labels[indices])
+
+
+class MultiViewSequenceDataset:
+    """Variable-length multi-view sequences (the DeepMood data shape).
+
+    Each sample is a tuple of per-view sequences: ``views[v][i]`` is an
+    (length_i_v, feature_dim_v) array for sample ``i`` and view ``v``.
+    Different views of the same session may have different lengths (e.g.
+    accelerometer readings are denser than keypresses).
+    """
+
+    def __init__(self, views, labels, view_names=None):
+        self.views = [list(view) for view in views]
+        self.labels = np.asarray(labels)
+        lengths = {len(view) for view in self.views}
+        lengths.add(len(self.labels))
+        if len(lengths) != 1:
+            raise ValueError("all views and labels must have the same sample count")
+        self.view_names = (
+            list(view_names)
+            if view_names is not None
+            else ["view{}".format(i) for i in range(len(self.views))]
+        )
+
+    @property
+    def num_views(self):
+        return len(self.views)
+
+    def view_dims(self):
+        """Feature dimensionality of each view."""
+        return [np.asarray(view[0]).shape[1] for view in self.views]
+
+    def __len__(self):
+        return len(self.labels)
+
+    def __getitem__(self, index):
+        return tuple(view[index] for view in self.views), self.labels[index]
+
+    def subset(self, indices):
+        """Return a new dataset restricted to ``indices``."""
+        indices = list(np.asarray(indices))
+        views = [[view[i] for i in indices] for view in self.views]
+        return MultiViewSequenceDataset(views, self.labels[indices], self.view_names)
+
+
+def train_test_split(n, test_fraction=0.2, rng=None):
+    """Return (train_indices, test_indices) for ``n`` samples."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(n)
+    cut = int(round(n * test_fraction))
+    return order[cut:], order[:cut]
+
+
+def stratified_split(labels, test_fraction=0.2, rng=None):
+    """Split preserving class proportions; returns (train, test) index arrays.
+
+    Every class contributes at least one test sample when it has >= 2
+    members, which keeps per-class metrics well defined.
+    """
+    labels = np.asarray(labels)
+    rng = rng or np.random.default_rng(0)
+    train, test = [], []
+    for value in np.unique(labels):
+        members = np.flatnonzero(labels == value)
+        members = rng.permutation(members)
+        cut = int(round(len(members) * test_fraction))
+        if len(members) >= 2:
+            cut = max(cut, 1)
+        test.extend(members[:cut])
+        train.extend(members[cut:])
+    return np.array(sorted(train)), np.array(sorted(test))

@@ -1,0 +1,99 @@
+"""Classification metrics: accuracy, F1, confusion matrices, reports.
+
+Table I of the paper reports accuracy and F1; these implementations follow
+the standard definitions (per-class precision/recall, macro and weighted
+averages) so the benchmark harness can print the same columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "classification_report",
+]
+
+
+def _as_labels(values):
+    values = np.asarray(values)
+    return values.reshape(-1)
+
+
+def accuracy(y_true, y_pred):
+    """Fraction of exact label matches."""
+    y_true, y_pred = _as_labels(y_true), _as_labels(y_pred)
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, num_classes=None):
+    """Return the (num_classes, num_classes) count matrix C[true, pred]."""
+    y_true, y_pred = _as_labels(y_true).astype(int), _as_labels(y_pred).astype(int)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=-1), y_pred.max(initial=-1))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, num_classes=None):
+    """Per-class precision, recall, F1 and class supports.
+
+    Classes absent from both truth and prediction get 0 for all three,
+    matching the usual zero-division convention.
+    """
+    matrix = confusion_matrix(y_true, y_pred, num_classes=num_classes)
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    precision = np.divide(true_pos, predicted, out=np.zeros_like(true_pos),
+                          where=predicted > 0)
+    recall = np.divide(true_pos, actual, out=np.zeros_like(true_pos),
+                       where=actual > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros_like(true_pos),
+                   where=denom > 0)
+    return precision, recall, f1, actual
+
+
+def f1_score(y_true, y_pred, average="macro", num_classes=None):
+    """F1 with 'macro', 'weighted', 'micro', or 'binary' averaging."""
+    precision, recall, f1, support = precision_recall_f1(
+        y_true, y_pred, num_classes=num_classes
+    )
+    if average == "macro":
+        present = support > 0
+        return float(f1[present].mean()) if present.any() else 0.0
+    if average == "weighted":
+        total = support.sum()
+        return float((f1 * support).sum() / total) if total > 0 else 0.0
+    if average == "micro":
+        return accuracy(y_true, y_pred)
+    if average == "binary":
+        if len(f1) < 2:
+            raise ValueError("binary F1 needs two classes")
+        return float(f1[1])
+    raise ValueError("unknown average '{}'".format(average))
+
+
+def classification_report(y_true, y_pred, num_classes=None, class_names=None):
+    """Human-readable table of per-class precision/recall/F1/support."""
+    precision, recall, f1, support = precision_recall_f1(
+        y_true, y_pred, num_classes=num_classes
+    )
+    names = class_names or ["class {}".format(i) for i in range(len(f1))]
+    lines = ["{:>12} {:>9} {:>9} {:>9} {:>9}".format(
+        "", "precision", "recall", "f1", "support")]
+    for name, p, r, f, s in zip(names, precision, recall, f1, support):
+        lines.append("{:>12} {:>9.4f} {:>9.4f} {:>9.4f} {:>9.0f}".format(
+            name, p, r, f, s))
+    lines.append("{:>12} {:>9.4f} {:>29.4f}".format(
+        "accuracy", accuracy(y_true, y_pred), support.sum()))
+    lines.append("{:>12} {:>9.4f} {:>9.4f} {:>9.4f}".format(
+        "macro avg", precision.mean(), recall.mean(), f1.mean()))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Feature scaling utilities fitted on training data only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler", "SequenceScaler"]
+
+
+class StandardScaler:
+    """Center to zero mean and unit variance per feature."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.std_ = None
+
+    def fit(self, features):
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features):
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, features):
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features):
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.asarray(features, dtype=np.float64) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Rescale each feature to [0, 1] based on the fitted range."""
+
+    def __init__(self):
+        self.min_ = None
+        self.range_ = None
+
+    def fit(self, features):
+        features = np.asarray(features, dtype=np.float64)
+        self.min_ = features.min(axis=0)
+        span = features.max(axis=0) - self.min_
+        self.range_ = np.where(span > 0, span, 1.0)
+        return self
+
+    def transform(self, features):
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.asarray(features, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, features):
+        return self.fit(features).transform(features)
+
+
+class SequenceScaler:
+    """Standardize a list of (length, dim) sequences feature-wise.
+
+    Statistics are pooled over every time step of every training sequence,
+    which is the right granularity for the typing-dynamics views.
+    """
+
+    def __init__(self):
+        self._scaler = StandardScaler()
+
+    def fit(self, sequences):
+        stacked = np.concatenate([np.atleast_2d(s) for s in sequences], axis=0)
+        self._scaler.fit(stacked)
+        return self
+
+    def transform(self, sequences):
+        return [self._scaler.transform(np.atleast_2d(s)) for s in sequences]
+
+    def fit_transform(self, sequences):
+        return self.fit(sequences).transform(sequences)

@@ -1,0 +1,26 @@
+"""Federated and distributed training over simulated mobile fleets."""
+
+from .comm import CommunicationLedger, sparse_update_bytes, state_bytes
+from .client import FederatedClient
+from .server import ParameterServer
+from .algorithms import FedAvg, FedSGD, FederatedHistory, RoundRecord
+from .selective import (
+    DistributedSelectiveSGD,
+    SelectiveSGDParticipant,
+)
+from .secure_agg import SecureAggregator
+
+__all__ = [
+    "CommunicationLedger",
+    "sparse_update_bytes",
+    "state_bytes",
+    "FederatedClient",
+    "ParameterServer",
+    "FedAvg",
+    "FedSGD",
+    "FederatedHistory",
+    "RoundRecord",
+    "DistributedSelectiveSGD",
+    "SelectiveSGDParticipant",
+    "SecureAggregator",
+]

@@ -1,0 +1,155 @@
+"""Federated training loops: FedSGD and FedAvg (McMahan et al.).
+
+Sec. II-B of the paper contrasts the naive distributed-SGD update (one
+gradient step per client per round) with federated averaging (multiple
+local epochs before aggregation), noting the latter needs 10-100x less
+communication to converge.  Both loops share the same server, clients, and
+byte accounting so that comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .comm import CommunicationLedger, state_bytes
+from .server import ParameterServer
+
+__all__ = ["RoundRecord", "FederatedHistory", "FedSGD", "FedAvg"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics captured after one communication round."""
+
+    round_index: int
+    accuracy: float
+    participants: int
+    cumulative_megabytes: float
+
+
+@dataclass
+class FederatedHistory:
+    """Accuracy/communication trajectory of one training run."""
+
+    records: list = field(default_factory=list)
+    ledger: CommunicationLedger = field(default_factory=CommunicationLedger)
+
+    def rounds_to_accuracy(self, target):
+        """First round index reaching ``target`` accuracy (None if never)."""
+        for record in self.records:
+            if record.accuracy >= target:
+                return record.round_index
+        return None
+
+    def megabytes_to_accuracy(self, target):
+        """Communication spent when ``target`` accuracy is first reached."""
+        for record in self.records:
+            if record.accuracy >= target:
+                return record.cumulative_megabytes
+        return None
+
+    def final_accuracy(self):
+        return self.records[-1].accuracy if self.records else 0.0
+
+
+class _FederatedLoop:
+    """Shared machinery: client sampling, evaluation, accounting."""
+
+    def __init__(self, clients, model_fn, client_fraction=1.0, seed=0,
+                 fleet=None, hours_per_round=1.0):
+        if not clients:
+            raise ValueError("need at least one client")
+        if not 0.0 < client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
+        self.clients = list(clients)
+        self.server = ParameterServer(model_fn)
+        self.client_fraction = client_fraction
+        self.rng = np.random.default_rng(seed)
+        self.fleet = fleet
+        self.hours_per_round = hours_per_round
+
+    def _sample_clients(self, round_index):
+        population = self.clients
+        if self.fleet is not None:
+            hour = round_index * self.hours_per_round
+            eligible = set(self.fleet.eligible_at(hour))
+            filtered = [c for c in population if c.client_id in eligible]
+            if filtered:
+                population = filtered
+        count = max(1, int(round(self.client_fraction * len(population))))
+        picks = self.rng.choice(len(population), size=min(count, len(population)),
+                                replace=False)
+        return [population[i] for i in picks]
+
+    def run(self, num_rounds, eval_data, eval_every=1, target_accuracy=None):
+        """Train for ``num_rounds`` rounds; stop early at ``target_accuracy``."""
+        history = FederatedHistory()
+        features, labels = eval_data
+        for round_index in range(1, num_rounds + 1):
+            participants = self._sample_clients(round_index)
+            up, down = self._round(participants)
+            history.ledger.record_round(up, down)
+            if round_index % eval_every == 0 or round_index == num_rounds:
+                acc = self.server.evaluate(features, labels)
+                history.records.append(RoundRecord(
+                    round_index=round_index,
+                    accuracy=acc,
+                    participants=len(participants),
+                    cumulative_megabytes=history.ledger.total_megabytes(),
+                ))
+                if target_accuracy is not None and acc >= target_accuracy:
+                    break
+        return history
+
+    def _round(self, participants):
+        raise NotImplementedError
+
+
+class FedSGD(_FederatedLoop):
+    """Naive distributed SGD: one gradient per client per round."""
+
+    def __init__(self, clients, model_fn, lr=0.1, batch_size=None, **kwargs):
+        super().__init__(clients, model_fn, **kwargs)
+        self.lr = lr
+        self.batch_size = batch_size
+
+    def _round(self, participants):
+        state = self.server.broadcast()
+        per_client = state_bytes(state)
+        gradients, weights = [], []
+        for client in participants:
+            gradient, count = client.compute_gradient(state, batch_size=self.batch_size)
+            gradients.append(gradient)
+            weights.append(count)
+        self.server.apply_gradients(gradients, weights, self.lr)
+        return per_client * len(participants), per_client * len(participants)
+
+
+class FedAvg(_FederatedLoop):
+    """Federated averaging: several local epochs, then weight averaging."""
+
+    def __init__(self, clients, model_fn, local_epochs=5, batch_size=32,
+                 lr=0.1, momentum=0.0, **kwargs):
+        super().__init__(clients, model_fn, **kwargs)
+        if local_epochs <= 0:
+            raise ValueError("local_epochs must be positive")
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.momentum = momentum
+
+    def _round(self, participants):
+        state = self.server.broadcast()
+        per_client = state_bytes(state)
+        states, weights = [], []
+        for client in participants:
+            new_state, count = client.local_train(
+                state, epochs=self.local_epochs, batch_size=self.batch_size,
+                lr=self.lr, momentum=self.momentum,
+            )
+            states.append(new_state)
+            weights.append(count)
+        self.server.average_states(states, weights)
+        return per_client * len(participants), per_client * len(participants)

@@ -1,0 +1,82 @@
+"""Federated participants: local data plus local optimization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DataLoader
+from ..nn import losses
+from ..optim import SGD
+from ..tensor import Tensor
+
+__all__ = ["FederatedClient"]
+
+
+class FederatedClient:
+    """One participant holding a private shard of data.
+
+    Parameters
+    ----------
+    client_id:
+        Identifier used by samplers and the fleet simulator.
+    dataset:
+        An :class:`repro.data.ArrayDataset` private to this client.
+    model_fn:
+        Zero-argument factory producing the shared model architecture;
+        every client and the server must use the same factory.
+    loss_fn:
+        Maps (logits, labels) to a scalar loss (default cross-entropy).
+    """
+
+    def __init__(self, client_id, dataset, model_fn, loss_fn=None, seed=0):
+        self.client_id = client_id
+        self.dataset = dataset
+        self.model_fn = model_fn
+        self.loss_fn = loss_fn or losses.cross_entropy
+        self.rng = np.random.default_rng((seed, client_id))
+
+    @property
+    def num_samples(self):
+        return len(self.dataset)
+
+    def compute_gradient(self, state, batch_size=None):
+        """One full gradient at ``state`` (the FedSGD client step).
+
+        Returns (gradient dict, num_samples).  ``batch_size=None`` uses the
+        whole local shard, matching g_k = grad L_k(w_t) in the paper.
+        """
+        model = self.model_fn()
+        model.load_state_dict(state)
+        model.train()
+        if batch_size is None or batch_size >= len(self.dataset):
+            features, labels = self.dataset.features, self.dataset.labels
+        else:
+            picks = self.rng.choice(len(self.dataset), size=batch_size, replace=False)
+            features, labels = self.dataset.features[picks], self.dataset.labels[picks]
+        model.zero_grad()
+        loss = self.loss_fn(model(Tensor(features)), labels)
+        loss.backward()
+        gradient = {
+            name: param.grad.copy() if param.grad is not None else np.zeros_like(param.data)
+            for name, param in model.named_parameters()
+        }
+        return gradient, len(features)
+
+    def local_train(self, state, epochs=1, batch_size=32, lr=0.1, momentum=0.0):
+        """Run ``epochs`` of local SGD from ``state`` (the FedAvg client step).
+
+        Returns (new local state, num_samples).
+        """
+        model = self.model_fn()
+        model.load_state_dict(state)
+        model.train()
+        optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+        loader = DataLoader(self.dataset, batch_size=batch_size, shuffle=True,
+                            rng=self.rng)
+        for _ in range(epochs):
+            for features, labels in loader:
+                optimizer.zero_grad()
+                loss = self.loss_fn(model(Tensor(features)), labels)
+                loss.backward()
+                optimizer.step()
+        return model.state_dict(), self.num_samples

@@ -1,0 +1,81 @@
+"""Secure aggregation via pairwise additive masking (Bonawitz et al.).
+
+Federated training (Sec. II-B) assumes the server only needs the *sum* of
+client updates.  Secure aggregation enforces that cryptographically: each
+pair of clients (i, j) agrees on a mask m_ij; client i adds +m_ij and
+client j adds -m_ij to their updates, so individual uploads look like
+random noise while the sum of all uploads equals the sum of the true
+updates exactly.
+
+This is a faithful protocol simulation (pairwise masks derived from
+shared seeds, with dropout recovery left out) — enough to demonstrate and
+test the privacy property; it is not a cryptographic implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SecureAggregator"]
+
+
+class SecureAggregator:
+    """Coordinates pairwise-masked aggregation across a client cohort."""
+
+    def __init__(self, client_ids, mask_scale=100.0, seed=0):
+        if len(set(client_ids)) != len(client_ids):
+            raise ValueError("client ids must be unique")
+        if len(client_ids) < 2:
+            raise ValueError("secure aggregation needs at least two clients")
+        self.client_ids = list(client_ids)
+        self.mask_scale = mask_scale
+        self.seed = seed
+
+    def _pair_mask(self, a, b, shape):
+        """Deterministic mask shared by the pair (a, b), antisymmetric."""
+        low, high = (a, b) if a < b else (b, a)
+        rng = np.random.default_rng((self.seed, low, high))
+        mask = rng.normal(0.0, self.mask_scale, size=shape)
+        return mask if a < b else -mask
+
+    def mask_update(self, client_id, update):
+        """What ``client_id`` actually uploads: update + sum of pair masks."""
+        if client_id not in self.client_ids:
+            raise KeyError("unknown client {}".format(client_id))
+        update = np.asarray(update, dtype=np.float64)
+        masked = update.copy()
+        for other in self.client_ids:
+            if other == client_id:
+                continue
+            masked += self._pair_mask(client_id, other, update.shape)
+        return masked
+
+    def aggregate(self, masked_updates):
+        """Sum the masked uploads; pair masks cancel exactly.
+
+        ``masked_updates`` maps client_id -> masked array and must contain
+        every registered client (the simplified protocol has no dropout
+        recovery).
+        """
+        missing = set(self.client_ids) - set(masked_updates)
+        if missing:
+            raise ValueError(
+                "missing uploads from clients {}; the simplified protocol "
+                "cannot recover from dropouts".format(sorted(missing)))
+        total = None
+        for client_id in self.client_ids:
+            upload = np.asarray(masked_updates[client_id], dtype=np.float64)
+            total = upload.copy() if total is None else total + upload
+        return total
+
+    def leakage_estimate(self, update, masked):
+        """How much of the raw update survives in one masked upload.
+
+        Returns the correlation coefficient between the true update and
+        its masked version — near zero when the masks dominate.
+        """
+        update = np.asarray(update).reshape(-1)
+        masked = np.asarray(masked).reshape(-1)
+        if update.std() == 0 or masked.std() == 0:
+            return 0.0
+        return float(np.corrcoef(update, masked)[0, 1])

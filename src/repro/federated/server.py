@@ -1,0 +1,86 @@
+"""The global parameter server."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    """Holds the shared model state and applies weighted aggregation.
+
+    Implements the two update rules from Sec. II-B:
+
+    * :meth:`apply_gradients` — w_{t+1} <- w_t - eta * sum_k (n_k/n) g_k
+      (the "naively distributed SGD" rule);
+    * :meth:`average_states` — w_{t+1} <- sum_k (n_k/n) w_{t+1}^k
+      (the FedAvg rule over locally trained weights).
+    """
+
+    def __init__(self, model_fn):
+        self.model_fn = model_fn
+        self.state = model_fn().state_dict()
+
+    def broadcast(self):
+        """A copy of the current global state for download."""
+        return OrderedDict((k, v.copy()) for k, v in self.state.items())
+
+    def apply_gradients(self, gradients, weights, lr):
+        """Apply the sample-weighted average of client gradients."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total client weight must be positive")
+        for name in self.state:
+            combined = sum(
+                (w / total) * g[name] for g, w in zip(gradients, weights)
+            )
+            self.state[name] = self.state[name] - lr * combined
+
+    def average_states(self, states, weights):
+        """Replace the global state with the weighted client average."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total client weight must be positive")
+        new_state = OrderedDict()
+        for name in self.state:
+            new_state[name] = sum(
+                (w / total) * s[name] for s, w in zip(states, weights)
+            )
+        self.state = new_state
+
+    def apply_sparse_update(self, indices, values):
+        """Add sparse (flat-index, value) contributions (selective SGD)."""
+        flat = self._flatten()
+        flat[indices] += values
+        self._unflatten(flat)
+
+    def evaluate(self, features, labels):
+        """Accuracy of the current global model on the given arrays."""
+        from ..tensor import Tensor, no_grad
+
+        model = self.model_fn()
+        model.load_state_dict(self.state)
+        model.eval()
+        with no_grad():
+            logits = model(Tensor(np.asarray(features)))
+        return float((logits.numpy().argmax(axis=1) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    # Flat-vector view (used by the selective-SGD scheme)
+    # ------------------------------------------------------------------
+    def _flatten(self):
+        return np.concatenate([v.reshape(-1) for v in self.state.values()])
+
+    def _unflatten(self, flat):
+        offset = 0
+        for name, value in self.state.items():
+            size = value.size
+            self.state[name] = flat[offset:offset + size].reshape(value.shape).copy()
+            offset += size
+
+    @property
+    def num_parameters(self):
+        return int(sum(v.size for v in self.state.values()))

@@ -1,0 +1,32 @@
+"""Efficient inference on mobile devices: deployment planning, private
+split inference, and early-exit distributed DNNs (paper Sec. III)."""
+
+from .deploy import (
+    DeploymentReport,
+    best_split,
+    compare_strategies,
+    cost_on_cloud,
+    cost_on_device,
+    cost_split,
+)
+from .private import (
+    NoisyTrainer,
+    PrivateInferencePipeline,
+    PrivateLocalTransformer,
+    split_sequential,
+)
+from .earlyexit import EarlyExitNetwork
+
+__all__ = [
+    "DeploymentReport",
+    "best_split",
+    "compare_strategies",
+    "cost_on_cloud",
+    "cost_on_device",
+    "cost_split",
+    "NoisyTrainer",
+    "PrivateInferencePipeline",
+    "PrivateLocalTransformer",
+    "split_sequential",
+    "EarlyExitNetwork",
+]

@@ -1,0 +1,99 @@
+"""Deployment planning: on-device vs on-cloud vs split inference.
+
+Sec. III frames the choice: cloud inference needs connectivity and leaks
+data but keeps the app small; on-device inference is private and offline-
+capable but burns energy.  Teerapittayanon et al.'s distributed DNNs
+(cited there) split the network between device and cloud.  This module
+prices all three strategies with the :mod:`repro.mobile` cost models and
+finds the best partition point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mobile.cost import ModelCostProfile
+from ..mobile.simulator import ExecutionCost, estimate_execution, estimate_transfer
+
+__all__ = ["DeploymentReport", "cost_on_device", "cost_on_cloud",
+           "cost_split", "best_split", "compare_strategies"]
+
+
+@dataclass
+class DeploymentReport:
+    """Cost of one deployment strategy for a single inference."""
+
+    strategy: str
+    cost: ExecutionCost
+    split_index: int = -1
+
+    def row(self):
+        """Formatted table row (strategy, latency ms, energy mJ, KB moved)."""
+        return "{:<18} {:>10.2f} {:>10.3f} {:>9.1f}".format(
+            self.strategy,
+            self.cost.latency_s * 1e3,
+            self.cost.device_energy_j * 1e3,
+            (self.cost.bytes_up + self.cost.bytes_down) / 1e3,
+        )
+
+
+def cost_on_device(profile, device):
+    """Everything runs locally; nothing crosses the network."""
+    return DeploymentReport("on-device", estimate_execution(profile, device))
+
+
+def cost_on_cloud(profile, device, cloud, link, result_bytes=64):
+    """Raw input goes up, the answer comes back (Fig. 2's architecture)."""
+    input_bytes = profile.boundary_bytes(0)
+    total = estimate_transfer(input_bytes, link, device, upload=True)
+    total = total + ExecutionCost(
+        latency_s=estimate_execution(profile, cloud).latency_s
+    )
+    total = total + estimate_transfer(result_bytes, link, device, upload=False)
+    return DeploymentReport("on-cloud", total)
+
+
+def cost_split(profile, device, cloud, link, split_index, result_bytes=64):
+    """First ``split_index`` layers on the device, the rest in the cloud."""
+    local, remote = profile.split(split_index)
+    total = estimate_execution(local, device)
+    if remote.layers:
+        boundary = profile.boundary_bytes(split_index)
+        total = total + estimate_transfer(boundary, link, device, upload=True)
+        total = total + ExecutionCost(
+            latency_s=estimate_execution(remote, cloud).latency_s
+        )
+        total = total + estimate_transfer(result_bytes, link, device, upload=False)
+    return DeploymentReport("split@{}".format(split_index), total,
+                            split_index=split_index)
+
+
+def best_split(profile, device, cloud, link, objective="latency",
+               result_bytes=64):
+    """Partition point minimizing latency or device energy.
+
+    Index 0 degenerates to on-cloud, index len(layers) to on-device, so the
+    optimum over all cut points never loses to either extreme.
+    """
+    if objective not in ("latency", "energy"):
+        raise ValueError("objective must be 'latency' or 'energy'")
+    best_report = None
+    for index in profile.cut_points():
+        report = cost_split(profile, device, cloud, link, index,
+                            result_bytes=result_bytes)
+        key = (report.cost.latency_s if objective == "latency"
+               else report.cost.device_energy_j)
+        if best_report is None or key < best_report[0]:
+            best_report = (key, report)
+    return best_report[1]
+
+
+def compare_strategies(profile, device, cloud, link, result_bytes=64):
+    """All strategies side by side; returns a list of DeploymentReport."""
+    reports = [
+        cost_on_device(profile, device),
+        cost_on_cloud(profile, device, cloud, link, result_bytes=result_bytes),
+        best_split(profile, device, cloud, link, objective="latency",
+                   result_bytes=result_bytes),
+    ]
+    return reports

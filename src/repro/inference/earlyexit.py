@@ -1,0 +1,105 @@
+"""Distributed DNN with early exits (Teerapittayanon et al., ICDCS'17).
+
+Sec. III cites a "distributed DNN architecture across the cloud, the edge,
+and the mobile devices, which allowed the combination of fast and
+localized inference on mobile devices and complex inference in cloud
+servers".  The mechanism is an early-exit classifier: a small local head
+answers confident samples on the device; only uncertain samples continue
+to the cloud-side remainder of the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import losses
+from ..optim import Adam
+from ..tensor import Tensor, no_grad
+
+__all__ = ["EarlyExitNetwork"]
+
+
+def _entropy(probabilities):
+    clipped = np.clip(probabilities, 1e-12, 1.0)
+    return -(clipped * np.log(clipped)).sum(axis=1)
+
+
+class EarlyExitNetwork:
+    """A backbone with a local exit head and a cloud head.
+
+    ``backbone_local`` runs on the device and feeds both the local exit
+    head and (for escalated samples) ``backbone_cloud`` + cloud head.
+    Samples whose local softmax entropy is below ``threshold`` exit
+    locally.
+    """
+
+    def __init__(self, backbone_local, exit_head, backbone_cloud, cloud_head,
+                 threshold=0.5):
+        self.backbone_local = backbone_local
+        self.exit_head = exit_head
+        self.backbone_cloud = backbone_cloud
+        self.cloud_head = cloud_head
+        self.threshold = threshold
+
+    def _modules(self):
+        return [self.backbone_local, self.exit_head,
+                self.backbone_cloud, self.cloud_head]
+
+    def parameters(self):
+        return [p for m in self._modules() for p in m.parameters()]
+
+    def train_joint(self, features, labels, epochs=5, batch_size=32, lr=0.01,
+                    exit_weight=0.5, seed=0):
+        """Jointly train both exits (weighted sum of their losses)."""
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr)
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        n = len(features)
+        for module in self._modules():
+            module.train()
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                picks = order[start:start + batch_size]
+                optimizer.zero_grad()
+                trunk = self.backbone_local(Tensor(features[picks]))
+                local_logits = self.exit_head(trunk)
+                cloud_logits = self.cloud_head(self.backbone_cloud(trunk))
+                loss = (
+                    losses.cross_entropy(local_logits, labels[picks]) * exit_weight
+                    + losses.cross_entropy(cloud_logits, labels[picks])
+                    * (1.0 - exit_weight)
+                )
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, features):
+        """Classify with early exit; returns (labels, exited_locally mask)."""
+        features = np.asarray(features)
+        for module in self._modules():
+            module.eval()
+        with no_grad():
+            trunk = self.backbone_local(Tensor(features))
+            local_logits = self.exit_head(trunk).numpy()
+            shifted = local_logits - local_logits.max(axis=1, keepdims=True)
+            probs = np.exp(shifted)
+            probs /= probs.sum(axis=1, keepdims=True)
+            exit_mask = _entropy(probs) < self.threshold
+            predictions = probs.argmax(axis=1)
+            if (~exit_mask).any():
+                escalated = Tensor(trunk.numpy()[~exit_mask])
+                cloud_logits = self.cloud_head(
+                    self.backbone_cloud(escalated)).numpy()
+                predictions[~exit_mask] = cloud_logits.argmax(axis=1)
+        return predictions, exit_mask
+
+    def accuracy_and_offload(self, features, labels):
+        """(accuracy, fraction answered locally) at the current threshold."""
+        predictions, exit_mask = self.predict(features)
+        labels = np.asarray(labels)
+        return (
+            float((predictions == labels).mean()),
+            float(exit_mask.mean()),
+        )

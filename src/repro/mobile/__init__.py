@@ -1,0 +1,38 @@
+"""Mobile device, network, and fleet simulation substrate."""
+
+from .device import (
+    CLOUD_SERVER,
+    FLAGSHIP_PHONE,
+    LOW_END_PHONE,
+    MID_RANGE_PHONE,
+    DeviceProfile,
+    EnergyConstants,
+)
+from .network import CELLULAR_3G, CELLULAR_4G, OFFLINE, WIFI, NetworkLink
+from .cost import BYTES_PER_WORD, LayerCost, ModelCostProfile, profile_model
+from .simulator import ExecutionCost, estimate_execution, estimate_transfer
+from .fleet import DeviceState, FleetDevice, FleetSimulator
+
+__all__ = [
+    "DeviceProfile",
+    "EnergyConstants",
+    "LOW_END_PHONE",
+    "MID_RANGE_PHONE",
+    "FLAGSHIP_PHONE",
+    "CLOUD_SERVER",
+    "NetworkLink",
+    "CELLULAR_3G",
+    "CELLULAR_4G",
+    "WIFI",
+    "OFFLINE",
+    "BYTES_PER_WORD",
+    "LayerCost",
+    "ModelCostProfile",
+    "profile_model",
+    "ExecutionCost",
+    "estimate_execution",
+    "estimate_transfer",
+    "DeviceState",
+    "FleetDevice",
+    "FleetSimulator",
+]

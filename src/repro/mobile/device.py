@@ -1,0 +1,91 @@
+"""Mobile device profiles: compute, memory, battery, and radio parameters.
+
+The survey's inference-side arguments are quantitative: DNNs exceed on-chip
+memory so weights spill to DRAM, which "consumes significantly more
+energy" [13], [14], and running inference "can easily dominate the whole
+system energy consumption".  These profiles encode the standard 45 nm
+energy numbers (Horowitz, ISSCC'14, as used by Han et al.) plus
+device-class compute throughput, so every deployment comparison in
+:mod:`repro.inference` rests on the same calibrated constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EnergyConstants",
+    "DeviceProfile",
+    "LOW_END_PHONE",
+    "MID_RANGE_PHONE",
+    "FLAGSHIP_PHONE",
+    "CLOUD_SERVER",
+]
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-operation energy costs in picojoules (45 nm CMOS, 32-bit)."""
+
+    mac_pj: float = 4.6          # 32-bit float multiply (3.7) + add (0.9)
+    sram_access_pj: float = 5.0  # 32 KB SRAM read, per 32-bit word
+    dram_access_pj: float = 640.0  # DRAM read, per 32-bit word
+
+    def dram_penalty(self):
+        """How many times costlier a DRAM access is than SRAM."""
+        return self.dram_access_pj / self.sram_access_pj
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one device class.
+
+    Parameters
+    ----------
+    gflops:
+        Sustained compute throughput for dense kernels (GFLOP/s).
+    onchip_kb:
+        SRAM/cache available to hold model weights; weights beyond this
+        spill to DRAM and pay ``EnergyConstants.dram_access_pj`` per read.
+    battery_joules:
+        Usable battery energy (a 3000 mAh @ 3.85 V battery ~ 41.6 kJ).
+    radio_tx_nj_per_bit / radio_rx_nj_per_bit:
+        Wireless transmit/receive energy.
+    idle_power_w:
+        Baseline platform power while the workload runs.
+    """
+
+    name: str
+    gflops: float
+    onchip_kb: float
+    battery_joules: float
+    radio_tx_nj_per_bit: float = 100.0
+    radio_rx_nj_per_bit: float = 50.0
+    idle_power_w: float = 0.4
+    energy: EnergyConstants = EnergyConstants()
+
+    def onchip_words(self):
+        """Number of 32-bit words that fit in on-chip memory."""
+        return int(self.onchip_kb * 1024 / 4)
+
+
+LOW_END_PHONE = DeviceProfile(
+    name="low-end-phone", gflops=2.0, onchip_kb=512.0,
+    battery_joules=28_000.0, idle_power_w=0.3,
+)
+
+MID_RANGE_PHONE = DeviceProfile(
+    name="mid-range-phone", gflops=8.0, onchip_kb=1024.0,
+    battery_joules=41_600.0, idle_power_w=0.4,
+)
+
+FLAGSHIP_PHONE = DeviceProfile(
+    name="flagship-phone", gflops=32.0, onchip_kb=4096.0,
+    battery_joules=46_000.0, idle_power_w=0.5,
+)
+
+CLOUD_SERVER = DeviceProfile(
+    name="cloud-server", gflops=4000.0, onchip_kb=32_768.0,
+    battery_joules=float("inf"), radio_tx_nj_per_bit=0.0,
+    radio_rx_nj_per_bit=0.0, idle_power_w=0.0,
+)

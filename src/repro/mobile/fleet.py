@@ -1,0 +1,99 @@
+"""Fleet availability simulation for federated training.
+
+Google's federated scheduler only trains "when the mobile device is idle,
+plugged in, and on a free wireless connection".  This module simulates a
+fleet of devices with diurnal charging/idle/WiFi patterns so the federated
+algorithms can sample *eligible* clients per round and measure how the
+policy throttles participation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DeviceState", "FleetDevice", "FleetSimulator"]
+
+
+@dataclass
+class DeviceState:
+    """Instantaneous device condition."""
+
+    charging: bool
+    idle: bool
+    on_unmetered_wifi: bool
+    battery_fraction: float
+
+    def eligible(self, min_battery=0.2):
+        """Google's three-condition training-eligibility policy."""
+        return (
+            self.charging
+            and self.idle
+            and self.on_unmetered_wifi
+            and self.battery_fraction >= min_battery
+        )
+
+
+@dataclass
+class FleetDevice:
+    """One simulated handset with diurnal behaviour parameters.
+
+    Probabilities are evaluated per hour of day: users overwhelmingly
+    charge overnight, are idle while asleep, and are on home WiFi in the
+    evening and night.
+    """
+
+    device_id: int
+    night_owl: float = 0.0   # shifts the user's schedule by up to ~6 h
+    wifi_at_home: float = 0.9
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def _local_hour(self, hour):
+        return (hour + 6.0 * self.night_owl) % 24.0
+
+    def state_at(self, hour):
+        """Sample the device state at ``hour`` (float hours since start)."""
+        local = self._local_hour(hour % 24.0)
+        asleep = 0.9 if (local >= 23.0 or local < 7.0) else 0.1
+        charging_p = 0.85 if (local >= 22.0 or local < 7.5) else 0.15
+        wifi_p = self.wifi_at_home if (local >= 18.0 or local < 8.5) else 0.35
+        charging = self.rng.random() < charging_p
+        idle = self.rng.random() < asleep or self.rng.random() < 0.15
+        wifi = self.rng.random() < wifi_p
+        battery = float(np.clip(self.rng.normal(0.55 + 0.35 * charging, 0.15), 0.02, 1.0))
+        return DeviceState(charging=charging, idle=idle,
+                           on_unmetered_wifi=wifi, battery_fraction=battery)
+
+
+class FleetSimulator:
+    """A population of :class:`FleetDevice` with round-based sampling."""
+
+    def __init__(self, num_devices, seed=0):
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        rng = np.random.default_rng(seed)
+        self.devices = [
+            FleetDevice(
+                device_id=i,
+                night_owl=float(rng.uniform(-0.5, 1.0)),
+                wifi_at_home=float(np.clip(rng.normal(0.9, 0.08), 0.4, 1.0)),
+                rng=np.random.default_rng((seed, i)),
+            )
+            for i in range(num_devices)
+        ]
+
+    def eligible_at(self, hour, min_battery=0.2):
+        """IDs of devices satisfying the eligibility policy at ``hour``."""
+        return [
+            device.device_id
+            for device in self.devices
+            if device.state_at(hour).eligible(min_battery=min_battery)
+        ]
+
+    def eligibility_curve(self, hours, min_battery=0.2):
+        """Fraction of the fleet eligible at each requested hour."""
+        return np.array([
+            len(self.eligible_at(h, min_battery=min_battery)) / len(self.devices)
+            for h in hours
+        ])

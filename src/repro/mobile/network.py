@@ -1,0 +1,45 @@
+"""Wireless network links between mobile devices and the cloud."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkLink", "CELLULAR_3G", "CELLULAR_4G", "WIFI", "OFFLINE"]
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link with bandwidth, latency, and metering.
+
+    ``metered`` marks links that the federated-training eligibility policy
+    must avoid (Google: train only on "a free wireless connection").
+    """
+
+    name: str
+    bandwidth_mbps: float
+    rtt_ms: float
+    metered: bool = False
+    available: bool = True
+
+    def transfer_seconds(self, num_bytes):
+        """Time to move ``num_bytes`` including one round trip of latency."""
+        if not self.available:
+            return float("inf")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.rtt_ms / 1000.0 + (num_bytes * 8) / (self.bandwidth_mbps * 1e6)
+
+    def transmit_energy_joules(self, num_bytes, device):
+        """Radio energy to transmit ``num_bytes`` from ``device``."""
+        return num_bytes * 8 * device.radio_tx_nj_per_bit * 1e-9
+
+    def receive_energy_joules(self, num_bytes, device):
+        """Radio energy to receive ``num_bytes`` on ``device``."""
+        return num_bytes * 8 * device.radio_rx_nj_per_bit * 1e-9
+
+
+CELLULAR_3G = NetworkLink(name="3g", bandwidth_mbps=1.5, rtt_ms=200.0, metered=True)
+CELLULAR_4G = NetworkLink(name="4g", bandwidth_mbps=12.0, rtt_ms=70.0, metered=True)
+WIFI = NetworkLink(name="wifi", bandwidth_mbps=50.0, rtt_ms=20.0, metered=False)
+OFFLINE = NetworkLink(name="offline", bandwidth_mbps=0.0, rtt_ms=0.0,
+                      metered=False, available=False)

@@ -1,0 +1,74 @@
+"""Execution cost simulation: energy and latency of running layers on devices.
+
+Combines a :class:`~repro.mobile.cost.ModelCostProfile` with a
+:class:`~repro.mobile.device.DeviceProfile` and (optionally) a
+:class:`~repro.mobile.network.NetworkLink` to estimate what one inference
+costs — the quantities behind Fig. 2's cloud-vs-device trade-off and the
+split-inference planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExecutionCost", "estimate_execution", "estimate_transfer"]
+
+
+@dataclass
+class ExecutionCost:
+    """Latency (s) and energy (J) of one step, plus bytes moved."""
+
+    latency_s: float = 0.0
+    device_energy_j: float = 0.0
+    bytes_up: int = 0
+    bytes_down: int = 0
+
+    def __add__(self, other):
+        return ExecutionCost(
+            latency_s=self.latency_s + other.latency_s,
+            device_energy_j=self.device_energy_j + other.device_energy_j,
+            bytes_up=self.bytes_up + other.bytes_up,
+            bytes_down=self.bytes_down + other.bytes_down,
+        )
+
+
+def estimate_execution(profile, device):
+    """Cost of running all layers in ``profile`` locally on ``device``.
+
+    Energy model (per inference):
+
+    * compute — one MAC per 2 FLOPs at ``mac_pj`` each;
+    * weight traffic — every parameter word is read once; words that fit
+      in on-chip SRAM pay ``sram_access_pj``, the spill pays
+      ``dram_access_pj`` (the off-chip penalty the paper highlights);
+    * activation traffic — inputs and outputs of each layer move through
+      SRAM;
+    * platform overhead — ``idle_power_w`` for the compute duration.
+    """
+    constants = device.energy
+    onchip = device.onchip_words()
+    total_flops = profile.total_flops
+    latency = total_flops / (device.gflops * 1e9) if total_flops else 0.0
+
+    compute_pj = (total_flops / 2.0) * constants.mac_pj
+    weight_words = profile.total_params
+    sram_words = min(weight_words, onchip)
+    dram_words = max(weight_words - onchip, 0)
+    weight_pj = sram_words * constants.sram_access_pj + dram_words * constants.dram_access_pj
+    activation_words = sum(l.input_size + l.output_size for l in profile.layers)
+    activation_pj = activation_words * constants.sram_access_pj
+    energy = (compute_pj + weight_pj + activation_pj) * 1e-12
+    energy += device.idle_power_w * latency
+    return ExecutionCost(latency_s=latency, device_energy_j=energy)
+
+
+def estimate_transfer(num_bytes, link, device, upload=True):
+    """Cost of moving ``num_bytes`` over ``link`` from/to ``device``."""
+    seconds = link.transfer_seconds(num_bytes)
+    if upload:
+        energy = link.transmit_energy_joules(num_bytes, device)
+        return ExecutionCost(latency_s=seconds, device_energy_j=energy,
+                             bytes_up=int(num_bytes))
+    energy = link.receive_energy_joules(num_bytes, device)
+    return ExecutionCost(latency_s=seconds, device_energy_j=energy,
+                         bytes_down=int(num_bytes))

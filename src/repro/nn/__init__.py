@@ -1,0 +1,68 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`."""
+
+from .module import Module, Parameter, Sequential
+from .layers import (
+    BatchNorm1d,
+    Dropout,
+    Flatten,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell, Bidirectional
+from .convnet import (
+    AvgPool2d,
+    Conv2d,
+    DepthwiseSeparableConv2d,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    mobilenet_block,
+)
+from .fusion import (
+    FactorizationMachineFusion,
+    FullyConnectedFusion,
+    MultiViewMachineFusion,
+)
+from .serialization import load_model, save_model, state_dict_size_bytes
+from . import init, losses
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "BatchNorm1d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "Bidirectional",
+    "AvgPool2d",
+    "Conv2d",
+    "DepthwiseSeparableConv2d",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "mobilenet_block",
+    "FactorizationMachineFusion",
+    "FullyConnectedFusion",
+    "MultiViewMachineFusion",
+    "init",
+    "losses",
+    "load_model",
+    "save_model",
+    "state_dict_size_bytes",
+]

@@ -1,0 +1,113 @@
+"""Convolutional modules, including MobileNet-style depthwise separable blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import tensor as T
+from . import init
+from .module import Module, Parameter, Sequential
+from .layers import ReLU
+
+__all__ = [
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "DepthwiseSeparableConv2d",
+    "mobilenet_block",
+]
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1,
+                 padding=0, groups=1, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups) + kernel_size
+        self.weight = Parameter(init.he_normal(shape, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x):
+        return T.conv2d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding, groups=self.groups,
+        )
+
+    def __repr__(self):
+        return "Conv2d({}, {}, kernel={}, stride={}, padding={}, groups={})".format(
+            self.in_channels, self.out_channels, self.kernel_size,
+            self.stride, self.padding, self.groups,
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel=2, stride=None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x):
+        return T.max_pool2d(x, kernel=self.kernel, stride=self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel=2, stride=None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x):
+        return T.avg_pool2d(x, kernel=self.kernel, stride=self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x):
+        return x.mean(axis=(2, 3))
+
+
+class DepthwiseSeparableConv2d(Module):
+    """MobileNets building block: depthwise conv then 1x1 pointwise conv.
+
+    Howard et al. (cited in Sec. III-B) factor a standard convolution into a
+    per-channel spatial filter followed by a 1x1 channel mixer, cutting the
+    multiply-accumulate count by roughly ``1/out_channels + 1/k^2``.
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1,
+                 padding=1, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.depthwise = Conv2d(
+            in_channels, in_channels, kernel_size, stride=stride,
+            padding=padding, groups=in_channels, rng=rng,
+        )
+        self.pointwise = Conv2d(in_channels, out_channels, 1, rng=rng)
+        self.activation = ReLU()
+
+    def forward(self, x):
+        x = self.activation(self.depthwise(x))
+        return self.activation(self.pointwise(x))
+
+
+def mobilenet_block(in_channels, out_channels, stride=1, rng=None):
+    """Convenience constructor for a depthwise-separable block."""
+    return DepthwiseSeparableConv2d(
+        in_channels, out_channels, kernel_size=3, stride=stride, padding=1, rng=rng
+    )

@@ -1,0 +1,79 @@
+"""Weight initialization schemes (Glorot, He, orthogonal, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "he_normal",
+    "orthogonal",
+    "zeros",
+    "uniform",
+]
+
+
+def _fan(shape):
+    """Return (fan_in, fan_out) for dense or convolutional weight shapes."""
+    if len(shape) < 1:
+        raise ValueError("cannot infer fans from a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        # (out_features, in_features) convention used throughout this repo.
+        return shape[1], shape[0]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def glorot_uniform(shape, rng):
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape, rng):
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape, rng):
+    """He uniform, appropriate before ReLU nonlinearities."""
+    fan_in, _ = _fan(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, rng):
+    """He normal, appropriate before ReLU nonlinearities."""
+    fan_in, _ = _fan(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def orthogonal(shape, rng, gain=1.0):
+    """Orthogonal initialization (used for recurrent kernels)."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal init needs at least 2 dimensions")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)
+
+
+def zeros(shape, rng=None):
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(shape, rng, low=-0.05, high=0.05):
+    """Plain uniform initialization."""
+    return rng.uniform(low, high, size=shape)

@@ -1,0 +1,180 @@
+"""Feed-forward layers: Linear, Dropout, activations, normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import tensor as T
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Dropout",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Softmax",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Identity",
+]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None,
+                 weight_init=init.glorot_uniform):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return "Linear(in={}, out={}, bias={})".format(
+            self.in_features, self.out_features, self.bias is not None
+        )
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, rate=0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1); got {}".format(rate))
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x):
+        return T.dropout(x, self.rate, self.rng, training=self.training)
+
+    def __repr__(self):
+        return "Dropout(rate={})".format(self.rate)
+
+
+class Flatten(Module):
+    """Collapse all but the leading (batch) dimension."""
+
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    """Pass-through module (useful as a default or ablation stand-in)."""
+
+    def forward(self, x):
+        return x
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x):
+        return T.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation."""
+
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return T.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x):
+        return T.tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation."""
+
+    def forward(self, x):
+        return T.sigmoid(x)
+
+
+class Softmax(Module):
+    """Softmax along a fixed axis."""
+
+    def __init__(self, axis=-1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x):
+        return T.softmax(x, axis=self.axis)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over (batch, features) inputs.
+
+    Running statistics are tracked for inference mode with exponential
+    moving averages, matching the standard formulation.
+    """
+
+    def __init__(self, num_features, momentum=0.1, eps=1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x):
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.set_buffer("running_mean", (
+                (1 - self.momentum) * self._buffers["running_mean"]
+                + self.momentum * mean
+            ))
+            self.set_buffer("running_var", (
+                (1 - self.momentum) * self._buffers["running_var"]
+                + self.momentum * var
+            ))
+            mu = x.mean(axis=0, keepdims=True)
+            centered = x - mu
+            variance = (centered * centered).mean(axis=0, keepdims=True)
+            normalized = centered / T.sqrt(variance + self.eps)
+        else:
+            normalized = (x - Tensor(self._buffers["running_mean"])) / Tensor(
+                np.sqrt(self._buffers["running_var"] + self.eps)
+            )
+        return normalized * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, num_features, eps=1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+
+    def forward(self, x):
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / T.sqrt(variance + self.eps)
+        return normalized * self.gamma + self.beta

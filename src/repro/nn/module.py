@@ -1,0 +1,191 @@
+"""Module system: parameter containers with a Keras/PyTorch-like API."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable model weight."""
+
+    def __init__(self, data, name=None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for
+    :meth:`parameters`, :meth:`state_dict`, and training-mode switches.
+    """
+
+    def __init__(self):
+        self._parameters = OrderedDict()
+        self._modules = OrderedDict()
+        self._buffers = OrderedDict()
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix=""):
+        """Yield (dotted_name, Parameter) pairs for this module and children."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self):
+        """Return the list of all trainable parameters."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix=""):
+        """Yield (dotted_name, Module) pairs, depth-first, self included."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def num_parameters(self):
+        """Total number of scalar weights in the module tree."""
+        return sum(param.data.size for param in self.parameters())
+
+    def zero_grad(self):
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def register_buffer(self, name, value):
+        """Store a non-trainable array that is part of the state dict."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name, value):
+        """Update a registered buffer (keeps the attribute in sync)."""
+        if name not in self._buffers:
+            raise KeyError("no buffer named '{}'".format(name))
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        """Switch this module (and children) to training mode."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self):
+        """Switch this module (and children) to inference mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix=""):
+        """Return a flat {name: ndarray copy} of parameters and buffers."""
+        state = OrderedDict()
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, value in self._buffers.items():
+            state[prefix + name] = np.asarray(value).copy()
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix + name + "."))
+        return state
+
+    def load_state_dict(self, state):
+        """Copy arrays from ``state`` into matching parameters and buffers."""
+        own = dict(self.named_parameters())
+        missing = []
+        for name, param in own.items():
+            if name not in state:
+                missing.append(name)
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    "shape mismatch for '{}': checkpoint {} vs model {}".format(
+                        name, value.shape, param.data.shape
+                    )
+                )
+            param.data = value.copy()
+        if missing:
+            raise KeyError("missing parameters in state dict: {}".format(missing))
+        self._load_buffers(state, "")
+        return self
+
+    def _load_buffers(self, state, prefix):
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key]).copy()
+                object.__setattr__(self, name, self._buffers[name])
+        for name, module in self._modules.items():
+            module._load_buffers(state, prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self):
+        child_lines = [
+            "  ({}): {}".format(name, repr(module).replace("\n", "\n  "))
+            for name, module in self._modules.items()
+        ]
+        body = "\n".join(child_lines)
+        if body:
+            return "{}(\n{}\n)".format(type(self).__name__, body)
+        return "{}()".format(type(self).__name__)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self._order = []
+        for index, module in enumerate(modules):
+            name = "layer{}".format(index)
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __getitem__(self, index):
+        return getattr(self, self._order[index])
+
+    def __len__(self):
+        return len(self._order)
+
+    def append(self, module):
+        """Add a module to the end of the chain."""
+        name = "layer{}".format(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x

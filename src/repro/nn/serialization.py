@@ -1,0 +1,32 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+Mobile deployment needs weights on disk; this keeps the format trivial
+(one compressed numpy archive, one array per parameter/buffer) so any
+runtime can read it back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_model", "load_model", "state_dict_size_bytes"]
+
+
+def save_model(model, path):
+    """Write ``model.state_dict()`` to ``path`` as a compressed .npz."""
+    state = model.state_dict()
+    np.savez_compressed(path, **{name: value for name, value in state.items()})
+    return path
+
+
+def load_model(model, path):
+    """Load a checkpoint written by :func:`save_model` into ``model``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+def state_dict_size_bytes(model):
+    """In-memory size of the model's parameters and buffers."""
+    return int(sum(np.asarray(v).nbytes for v in model.state_dict().values()))

@@ -1,0 +1,16 @@
+"""Optimizers and learning-rate schedules."""
+
+from .optimizers import SGD, Adagrad, Adam, Optimizer, RMSprop, clip_grad_norm
+from .schedules import CosineAnnealingLR, ExponentialLR, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "RMSprop",
+    "clip_grad_norm",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+]

@@ -1,0 +1,161 @@
+"""Gradient-descent optimizers.
+
+The paper cites Adam [10], Adagrad [11], and RMSprop [12] as the standard
+training algorithms for DNNs; all three are implemented here alongside
+plain/momentum SGD, which the distributed-training section builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "RMSprop", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  This is the same primitive DP-SGD uses
+    for per-example sensitivity control.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad = param.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and per-parameter state."""
+
+    def __init__(self, parameters, lr):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive; got {}".format(lr))
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.state = [dict() for _ in self.parameters]
+        self.step_count = 0
+
+    def zero_grad(self):
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self):
+        """Apply one update using the gradients currently stored."""
+        self.step_count += 1
+        for param, state in zip(self.parameters, self.state):
+            if param.grad is None:
+                continue
+            param.data = param.data + self._delta(param.grad, state)
+
+    def _delta(self, grad, state):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum and
+    L2 weight decay."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0, nesterov=False,
+                 weight_decay=0.0):
+        super().__init__(parameters, lr)
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+
+    def step(self):
+        self.step_count += 1
+        for param, state in zip(self.parameters, self.state):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = state.get("velocity")
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                state["velocity"] = velocity
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, ICLR'15) with bias correction."""
+
+    def __init__(self, parameters, lr=0.001, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self):
+        self.step_count += 1
+        t = self.step_count
+        for param, state in zip(self.parameters, self.state):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = state.get("m")
+            v = state.get("v")
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            state["m"], state["v"] = m, v
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad (Duchi et al., JMLR'11): per-coordinate adaptive step sizes."""
+
+    def __init__(self, parameters, lr=0.01, eps=1e-10):
+        super().__init__(parameters, lr)
+        self.eps = eps
+
+    def step(self):
+        self.step_count += 1
+        for param, state in zip(self.parameters, self.state):
+            if param.grad is None:
+                continue
+            accum = state.get("accum")
+            if accum is None:
+                accum = np.zeros_like(param.data)
+            accum = accum + param.grad ** 2
+            state["accum"] = accum
+            param.data = param.data - self.lr * param.grad / (np.sqrt(accum) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton): divide by a running RMS of gradients."""
+
+    def __init__(self, parameters, lr=0.001, alpha=0.99, eps=1e-8):
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+
+    def step(self):
+        self.step_count += 1
+        for param, state in zip(self.parameters, self.state):
+            if param.grad is None:
+                continue
+            avg = state.get("square_avg")
+            if avg is None:
+                avg = np.zeros_like(param.data)
+            avg = self.alpha * avg + (1 - self.alpha) * param.grad ** 2
+            state["square_avg"] = avg
+            param.data = param.data - self.lr * param.grad / (np.sqrt(avg) + self.eps)

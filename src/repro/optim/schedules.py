@@ -1,0 +1,64 @@
+"""Learning-rate schedules that wrap an optimizer's ``lr`` attribute."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StepLR", "ExponentialLR", "CosineAnnealingLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self):
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    def get_lr(self, epoch):
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer, gamma=0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max, eta_min=0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch):
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * progress)
+        )

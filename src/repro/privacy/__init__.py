@@ -1,0 +1,37 @@
+"""Privacy-preserving training: mechanisms, accounting, DP-SGD, PATE, DP-FedAvg."""
+
+from .mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    clip_by_l2,
+    gaussian_sigma_for,
+)
+from .accountant import (
+    DEFAULT_ORDERS,
+    MomentsAccountant,
+    rdp_subsampled_gaussian,
+    rdp_to_epsilon,
+    strong_composition_epsilon,
+)
+from .dpsgd import DPSGDTrainer
+from .pate import PATE, noisy_max_vote
+from .dpfedavg import DPFedAvg
+from .attacks import GradientInversionAttack, MembershipInferenceAttack
+
+__all__ = [
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "clip_by_l2",
+    "gaussian_sigma_for",
+    "DEFAULT_ORDERS",
+    "MomentsAccountant",
+    "rdp_subsampled_gaussian",
+    "rdp_to_epsilon",
+    "strong_composition_epsilon",
+    "DPSGDTrainer",
+    "PATE",
+    "noisy_max_vote",
+    "DPFedAvg",
+    "GradientInversionAttack",
+    "MembershipInferenceAttack",
+]

@@ -1,0 +1,144 @@
+"""Privacy attacks on shared gradients and trained models.
+
+Sec. II-C motivates privacy-preserving training by noting that "the
+gradients uploaded by participants may still reveal the features of local
+training data, which makes it susceptible to powerful attacks" (citing the
+GAN-based leakage attack of Hitaj et al.).  This module implements two
+concrete attacks so the defenses in this package can be evaluated against
+something real:
+
+* :class:`GradientInversionAttack` — reconstructs a training input from a
+  single-example gradient of a network whose first layer is linear.  For
+  such layers the gradient *analytically contains* the input:
+  dL/dW1 = delta ⊗ x, dL/db1 = delta, so x = (dL/dW1)_i / (dL/db1)_i for
+  any coordinate i with nonzero delta.  Gaussian gradient noise (DP-SGD's
+  mechanism) degrades the reconstruction.
+* :class:`MembershipInferenceAttack` — the classic loss-threshold attack:
+  members of the training set tend to have lower loss than non-members;
+  DP training shrinks that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import losses
+from ..tensor import Tensor, no_grad
+
+__all__ = ["GradientInversionAttack", "MembershipInferenceAttack"]
+
+
+class GradientInversionAttack:
+    """Recover a single training example from a model-update gradient.
+
+    Parameters
+    ----------
+    first_layer_weight_name / first_layer_bias_name:
+        Names (as in ``model.named_parameters()``) of the first Linear
+        layer's parameters.
+    """
+
+    def __init__(self, first_layer_weight_name="layer0.weight",
+                 first_layer_bias_name="layer0.bias"):
+        self.weight_name = first_layer_weight_name
+        self.bias_name = first_layer_bias_name
+
+    def capture_gradient(self, model, example, label, loss_fn=None):
+        """Compute the per-example gradient a federated client would upload."""
+        loss_fn = loss_fn or losses.cross_entropy
+        model.zero_grad()
+        example = np.atleast_2d(np.asarray(example, dtype=np.float64))
+        loss = loss_fn(model(Tensor(example)), np.atleast_1d(label))
+        loss.backward()
+        return {
+            name: (param.grad.copy() if param.grad is not None
+                   else np.zeros_like(param.data))
+            for name, param in model.named_parameters()
+        }
+
+    def reconstruct(self, gradient):
+        """Analytic input reconstruction from the first-layer gradient.
+
+        Uses the most active unit (largest |dL/db|) and averages over the
+        top units for robustness to noise.  Returns the recovered input
+        vector.
+        """
+        grad_w = gradient[self.weight_name]
+        grad_b = gradient[self.bias_name]
+        order = np.argsort(-np.abs(grad_b))
+        estimates = []
+        for unit in order[:5]:
+            if abs(grad_b[unit]) < 1e-12:
+                continue
+            estimates.append(grad_w[unit] / grad_b[unit])
+        if not estimates:
+            return np.zeros(grad_w.shape[1])
+        weights = np.abs(grad_b[order[:len(estimates)]])
+        weights = weights / weights.sum()
+        return np.average(estimates, axis=0, weights=weights)
+
+    @staticmethod
+    def reconstruction_quality(original, recovered):
+        """Cosine similarity between the true input and the reconstruction."""
+        original = np.asarray(original, dtype=np.float64).reshape(-1)
+        recovered = np.asarray(recovered, dtype=np.float64).reshape(-1)
+        denom = np.linalg.norm(original) * np.linalg.norm(recovered)
+        if denom == 0:
+            return 0.0
+        return float(np.dot(original, recovered) / denom)
+
+    def attack(self, model, example, label, noise_std=0.0, rng=None):
+        """End-to-end: capture the gradient, optionally add DP noise, invert.
+
+        Returns (recovered input, cosine similarity to the original).
+        """
+        rng = rng or np.random.default_rng(0)
+        gradient = self.capture_gradient(model, example, label)
+        if noise_std > 0:
+            gradient = {
+                name: grad + rng.normal(0.0, noise_std, size=grad.shape)
+                for name, grad in gradient.items()
+            }
+        recovered = self.reconstruct(gradient)
+        return recovered, self.reconstruction_quality(example, recovered)
+
+
+class MembershipInferenceAttack:
+    """Loss-threshold membership inference (Yeom et al. style).
+
+    Predict "member" when the model's loss on an example is below a
+    threshold calibrated on known member/non-member losses.  The attack's
+    advantage (accuracy - 0.5) measures how much the model leaks about
+    its training set.
+    """
+
+    def __init__(self, loss_fn=None):
+        self.loss_fn = loss_fn or losses.cross_entropy
+        self.threshold_ = None
+
+    def _example_losses(self, model, features, labels):
+        model.eval()
+        with no_grad():
+            logits = model(Tensor(np.asarray(features)))
+            per_example = self.loss_fn(logits, labels, reduction="none")
+        model.train()
+        return per_example.numpy()
+
+    def calibrate(self, model, member_data, nonmember_data):
+        """Pick the loss threshold maximizing attack accuracy."""
+        member_losses = self._example_losses(model, *member_data)
+        nonmember_losses = self._example_losses(model, *nonmember_data)
+        candidates = np.concatenate([member_losses, nonmember_losses])
+        best = (0.5, float(np.median(candidates)))
+        for threshold in np.unique(candidates):
+            tpr = (member_losses <= threshold).mean()
+            tnr = (nonmember_losses > threshold).mean()
+            accuracy = 0.5 * (tpr + tnr)
+            if accuracy > best[0]:
+                best = (float(accuracy), float(threshold))
+        self.threshold_ = best[1]
+        return best[0]
+
+    def advantage(self, model, member_data, nonmember_data):
+        """Membership advantage: balanced attack accuracy minus 1/2."""
+        return self.calibrate(model, member_data, nonmember_data) - 0.5

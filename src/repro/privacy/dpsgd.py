@@ -1,0 +1,117 @@
+"""Differentially private SGD (Abadi et al., CCS'16).
+
+Per-example gradients are clipped to an L2 bound, summed, perturbed with
+Gaussian noise scaled to that bound, and averaged over the *lot*.  Privacy
+is tracked by the :class:`~repro.privacy.accountant.MomentsAccountant`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import losses
+from ..tensor import Tensor, no_grad
+from .accountant import MomentsAccountant
+from .mechanisms import clip_by_l2
+
+__all__ = ["DPSGDTrainer"]
+
+
+class DPSGDTrainer:
+    """Train a model with (epsilon, delta)-DP guarantees.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.nn.Module` trained in place.
+    lr:
+        Learning rate applied to the noisy averaged gradient.
+    clip_norm:
+        Per-example gradient L2 bound C.
+    noise_multiplier:
+        sigma; Gaussian noise stddev is sigma * C per coordinate of the sum.
+    lot_size:
+        Expected lot size L; examples are Poisson-sampled with q = L / N.
+    """
+
+    def __init__(self, model, lr=0.1, clip_norm=1.0, noise_multiplier=1.0,
+                 lot_size=64, loss_fn=None, seed=0):
+        if clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if noise_multiplier < 0:
+            raise ValueError("noise_multiplier must be non-negative")
+        self.model = model
+        self.lr = lr
+        self.clip_norm = clip_norm
+        self.noise_multiplier = noise_multiplier
+        self.lot_size = lot_size
+        self.loss_fn = loss_fn or losses.cross_entropy
+        self.rng = np.random.default_rng(seed)
+        self.accountant = MomentsAccountant()
+        self._params = self.model.parameters()
+        self._shapes = [p.data.shape for p in self._params]
+        self._sizes = [p.data.size for p in self._params]
+
+    def _flat_grad(self):
+        pieces = []
+        for param in self._params:
+            grad = param.grad if param.grad is not None else np.zeros_like(param.data)
+            pieces.append(grad.reshape(-1))
+        return np.concatenate(pieces)
+
+    def _apply_flat(self, flat):
+        offset = 0
+        for param, size, shape in zip(self._params, self._sizes, self._shapes):
+            param.data = param.data - self.lr * flat[offset:offset + size].reshape(shape)
+            offset += size
+
+    def step(self, features, labels):
+        """One DP-SGD step on a Poisson-sampled lot from (features, labels).
+
+        Returns the number of examples in the lot.
+        """
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        n = len(features)
+        q = min(self.lot_size / n, 1.0)
+        mask = self.rng.random(n) < q
+        if not mask.any():
+            mask[self.rng.integers(0, n)] = True
+        lot_x, lot_y = features[mask], labels[mask]
+
+        total = np.zeros(sum(self._sizes))
+        for i in range(len(lot_x)):
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model(Tensor(lot_x[i:i + 1])), lot_y[i:i + 1])
+            loss.backward()
+            total += clip_by_l2(self._flat_grad(), self.clip_norm)
+        noise = self.rng.normal(
+            0.0, self.noise_multiplier * self.clip_norm, size=total.shape
+        )
+        averaged = (total + noise) / max(self.lot_size, 1)
+        self._apply_flat(averaged)
+        self.accountant.step(q, max(self.noise_multiplier, 1e-9))
+        return int(mask.sum())
+
+    def train(self, features, labels, num_steps, delta=1e-5,
+              epsilon_budget=None, callback=None):
+        """Run ``num_steps`` steps, optionally stopping at an epsilon budget.
+
+        Returns the spent epsilon at ``delta``.
+        """
+        for step_index in range(num_steps):
+            self.step(features, labels)
+            if epsilon_budget is not None:
+                if self.accountant.spent(delta) >= epsilon_budget:
+                    break
+            if callback is not None:
+                callback(step_index, self)
+        return self.accountant.spent(delta)
+
+    def evaluate(self, features, labels):
+        """Accuracy of the current model."""
+        self.model.eval()
+        with no_grad():
+            logits = self.model(Tensor(np.asarray(features)))
+        self.model.train()
+        return float((logits.numpy().argmax(axis=1) == np.asarray(labels)).mean())

@@ -1,0 +1,95 @@
+"""Differential-privacy primitives: clipping and noise mechanisms.
+
+"An algorithm is differentially private when the probability of generating
+a particular output is not affected very much by whether one data item is
+in the input" (Sec. II-C).  These are the building blocks every
+privacy-preserving trainer in this package shares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clip_by_l2",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "gaussian_sigma_for",
+]
+
+
+def clip_by_l2(vector, bound):
+    """Scale ``vector`` so its L2 norm is at most ``bound``.
+
+    Clipping bounds the sensitivity of a sum of per-example contributions,
+    which is what makes the noise calibration below valid.
+    """
+    if bound <= 0:
+        raise ValueError("clipping bound must be positive")
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    if norm > bound:
+        return vector * (bound / norm)
+    return vector.copy()
+
+
+class LaplaceMechanism:
+    """Pure epsilon-DP additive noise: scale = sensitivity / epsilon."""
+
+    def __init__(self, epsilon, sensitivity=1.0, rng=None):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self.epsilon = epsilon
+        self.sensitivity = sensitivity
+        self.rng = rng or np.random.default_rng(0)
+
+    @property
+    def scale(self):
+        return self.sensitivity / self.epsilon
+
+    def randomize(self, value):
+        """Add Laplace noise elementwise."""
+        value = np.asarray(value, dtype=np.float64)
+        return value + self.rng.laplace(0.0, self.scale, size=value.shape)
+
+
+class GaussianMechanism:
+    """(epsilon, delta)-DP additive Gaussian noise.
+
+    Constructed either directly from a noise multiplier ``sigma`` (noise
+    standard deviation = sigma * sensitivity) or calibrated from a target
+    (epsilon, delta) via :func:`gaussian_sigma_for`.
+    """
+
+    def __init__(self, sigma, sensitivity=1.0, rng=None):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self.sigma = sigma
+        self.sensitivity = sensitivity
+        self.rng = rng or np.random.default_rng(0)
+
+    @classmethod
+    def calibrated(cls, epsilon, delta, sensitivity=1.0, rng=None):
+        """Classic calibration sigma >= sqrt(2 ln(1.25/delta)) / epsilon."""
+        return cls(gaussian_sigma_for(epsilon, delta), sensitivity=sensitivity,
+                   rng=rng)
+
+    @property
+    def stddev(self):
+        return self.sigma * self.sensitivity
+
+    def randomize(self, value):
+        """Add Gaussian noise elementwise."""
+        value = np.asarray(value, dtype=np.float64)
+        return value + self.rng.normal(0.0, self.stddev, size=value.shape)
+
+
+def gaussian_sigma_for(epsilon, delta):
+    """Noise multiplier for a single Gaussian release at (epsilon, delta)."""
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise ValueError("need epsilon > 0 and delta in (0, 1)")
+    return float(np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon)

@@ -1,0 +1,27 @@
+"""Synthetic data substrates replacing the paper's private/benchmark data."""
+
+from .typing_dynamics import (
+    ACCEL_PERIOD,
+    SPECIAL_KEYS,
+    Session,
+    TypingCohort,
+    TypingDynamicsGenerator,
+    UserProfile,
+)
+from .digits import GLYPHS, make_digit_images, make_digits
+from .partition import dirichlet_partition, iid_partition, shard_partition
+
+__all__ = [
+    "ACCEL_PERIOD",
+    "SPECIAL_KEYS",
+    "Session",
+    "TypingCohort",
+    "TypingDynamicsGenerator",
+    "UserProfile",
+    "GLYPHS",
+    "make_digit_images",
+    "make_digits",
+    "dirichlet_partition",
+    "iid_partition",
+    "shard_partition",
+]

@@ -1,0 +1,68 @@
+"""Partition a centralized dataset across simulated mobile clients.
+
+Federated-learning results hinge on *how* data is distributed: McMahan et
+al.'s 10-100x communication saving is measured on both IID and pathological
+non-IID splits.  Three standard partitioners are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["iid_partition", "dirichlet_partition", "shard_partition"]
+
+
+def iid_partition(num_samples, num_clients, rng=None):
+    """Uniformly random equal split; returns a list of index arrays."""
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(num_samples)
+    return [np.sort(part) for part in np.array_split(order, num_clients)]
+
+
+def dirichlet_partition(labels, num_clients, alpha=0.5, rng=None):
+    """Label-skewed split: client class proportions ~ Dirichlet(alpha).
+
+    Small ``alpha`` produces highly heterogeneous clients; large ``alpha``
+    approaches IID.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    labels = np.asarray(labels)
+    rng = rng or np.random.default_rng(0)
+    clients = [[] for _ in range(num_clients)]
+    for value in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == value))
+        proportions = rng.dirichlet([alpha] * num_clients)
+        counts = np.floor(proportions * len(members)).astype(int)
+        # Distribute the remainder to the largest shares.
+        remainder = len(members) - counts.sum()
+        for index in np.argsort(-proportions)[:remainder]:
+            counts[index] += 1
+        start = 0
+        for client, count in enumerate(counts):
+            clients[client].extend(members[start:start + count])
+            start += count
+    return [np.sort(np.array(c, dtype=int)) for c in clients]
+
+
+def shard_partition(labels, num_clients, shards_per_client=2, rng=None):
+    """McMahan et al.'s pathological non-IID split.
+
+    Sort by label, slice into ``num_clients * shards_per_client`` shards,
+    and give each client ``shards_per_client`` random shards — so most
+    clients see only a couple of classes.
+    """
+    labels = np.asarray(labels)
+    rng = rng or np.random.default_rng(0)
+    order = np.argsort(labels, kind="stable")
+    num_shards = num_clients * shards_per_client
+    shards = np.array_split(order, num_shards)
+    assignment = rng.permutation(num_shards)
+    clients = []
+    for client in range(num_clients):
+        picks = assignment[client * shards_per_client:(client + 1) * shards_per_client]
+        indices = np.concatenate([shards[p] for p in picks])
+        clients.append(np.sort(indices))
+    return clients

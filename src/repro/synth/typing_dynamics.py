@@ -1,0 +1,419 @@
+"""Synthetic BiAffect-style typing-dynamics data.
+
+The paper's two applications (DeepMood, Sec. IV-A; DEEPSERVICE, Sec. IV-B)
+were evaluated on metadata from the BiAffect study: 40 participants typed
+on instrumented phones for 8 weeks, producing *sessions* of three views:
+
+* **alphanumeric characters** — per keypress: duration, time since last
+  keypress, and distance from the last key along two axes;
+* **special characters** — one-hot events for auto-correct, backspace,
+  space, suggestion, switching-keyboard, and other;
+* **accelerometer values** — sampled every 60 ms during a session, hence
+  much denser than keypresses.
+
+That dataset is private.  This module generates a synthetic cohort that
+encodes exactly the effects the paper reports, so the same code paths are
+exercised and the same qualitative results emerge:
+
+* every user has a stable biometric signature (typing speed, keypress
+  duration, key-travel geometry, special-key habits, device-holding
+  posture and tremor) — Fig. 6's observation that users separate on all
+  three views;
+* each user's signature includes *temporal* structure (within-session
+  fatigue drift, burst-pause rhythm, speed autocorrelation) that flat
+  session statistics lose but a sequence model can exploit — the paper's
+  observation that shallow models "are not a good fit to this task, or
+  sequence prediction in general";
+* a participant's mood state shifts their dynamics (psychomotor
+  retardation: slower and more variable typing, more error corrections,
+  damped movement) — the basis of DeepMood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SPECIAL_KEYS",
+    "UserProfile",
+    "Session",
+    "TypingCohort",
+    "TypingDynamicsGenerator",
+]
+
+SPECIAL_KEYS = (
+    "auto_correct",
+    "backspace",
+    "space",
+    "suggestion",
+    "switch_keyboard",
+    "other",
+)
+
+#: Accelerometer sampling period used by the BiAffect keyboard (seconds).
+ACCEL_PERIOD = 0.060
+
+
+@dataclass
+class UserProfile:
+    """Latent per-user biometric parameters.
+
+    All durations are in seconds.  ``special_rates`` are per-keypress
+    probabilities of each special-key event.  ``accel_orientation`` is the
+    gravity direction of the user's habitual grip; ``accel_mixing`` couples
+    the axes so that inter-axis correlations are user-specific (Fig. 6's
+    "correlation of different directions of acceleration").
+    """
+
+    user_id: int
+    keypress_duration_mean: float
+    keypress_duration_std: float
+    inter_key_mean: float
+    inter_key_std: float
+    travel_scale_x: float
+    travel_scale_y: float
+    session_keys_mean: float
+    special_rates: np.ndarray
+    accel_orientation: np.ndarray
+    accel_tremor: float
+    accel_mixing: np.ndarray
+    fatigue_slope: float
+    burst_period: float
+    burst_depth: float
+    speed_autocorr: float
+    walk_probability: float
+    context_response: np.ndarray
+    gap_duration_coupling: float
+    mood_presentation: float
+
+    def describe(self):
+        """Short human-readable summary used by the Fig. 6 analysis bench."""
+        return {
+            "user": self.user_id,
+            "duration_ms": round(self.keypress_duration_mean * 1000, 1),
+            "inter_key_ms": round(self.inter_key_mean * 1000, 1),
+            "keys_per_session": round(self.session_keys_mean, 1),
+            "backspace_rate": round(float(self.special_rates[1]), 4),
+            "auto_correct_rate": round(float(self.special_rates[0]), 4),
+            "tremor": round(self.accel_tremor, 4),
+        }
+
+
+@dataclass
+class Session:
+    """One phone-usage session: three views plus labels and provenance."""
+
+    user_id: int
+    mood_score: float
+    mood_label: int
+    alphanumeric: np.ndarray  # (n_keys, 4): duration, gap, dx, dy
+    special: np.ndarray       # (n_special, 6): one-hot events
+    accelerometer: np.ndarray  # (n_samples, 3)
+    duration: float = 0.0
+
+    def views(self):
+        """The per-view sequences in canonical order."""
+        return (self.alphanumeric, self.special, self.accelerometer)
+
+
+@dataclass
+class TypingCohort:
+    """A generated population: profiles plus per-user session lists."""
+
+    profiles: list
+    sessions: dict = field(default_factory=dict)
+
+    def all_sessions(self):
+        """Flatten to a single list ordered by user id."""
+        out = []
+        for profile in self.profiles:
+            out.extend(self.sessions[profile.user_id])
+        return out
+
+    def user_ids(self):
+        return [profile.user_id for profile in self.profiles]
+
+
+class TypingDynamicsGenerator:
+    """Sample users and sessions with controllable separability and mood effects.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the whole cohort (users and sessions are reproducible).
+    user_separability:
+        Scales the spread of the population distributions; larger values
+        make users easier to tell apart (DEEPSERVICE gets easier).
+    mood_effect:
+        Scales how strongly a depressed state shifts the dynamics
+        (DeepMood gets easier as this grows).
+    noise_level:
+        Within-user, within-session noise multiplier.
+    """
+
+    def __init__(self, seed=0, user_separability=1.0, mood_effect=1.0,
+                 noise_level=1.0):
+        self.seed = seed
+        self.user_separability = float(user_separability)
+        self.mood_effect = float(mood_effect)
+        self.noise_level = float(noise_level)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def sample_profile(self, user_id):
+        """Draw one user's latent biometric signature.
+
+        Population spreads are deliberately calibrated to be of the same
+        order as the per-session variability injected by
+        :meth:`sample_session`, so single aggregate statistics do not
+        trivially identify users — identification must combine many weak
+        cues, as in the real BiAffect cohort.
+        """
+        rng = np.random.default_rng((self.seed, 1000 + user_id))
+        s = self.user_separability
+        duration_mean = float(np.exp(rng.normal(np.log(0.095), 0.03 * s)))
+        inter_key_mean = float(np.exp(rng.normal(np.log(0.28), 0.035 * s)))
+        # Special-key habits via a Dirichlet over event types, scaled to a
+        # per-keypress event probability.
+        base = np.array([2.0, 3.0, 12.0, 1.5, 0.8, 1.0])
+        mix = rng.dirichlet(base * 6.0 / max(s, 1e-3))
+        event_rate = float(np.clip(rng.normal(0.30, 0.015 * s), 0.10, 0.55))
+        orientation = rng.normal(0.0, 0.06 * s, size=3) + np.array([0.0, 0.0, 1.0])
+        orientation = orientation / np.linalg.norm(orientation)
+        mixing = np.eye(3) + rng.normal(0.0, 0.10 * s, size=(3, 3))
+        return UserProfile(
+            user_id=user_id,
+            keypress_duration_mean=duration_mean,
+            keypress_duration_std=duration_mean * float(rng.uniform(0.22, 0.28)),
+            inter_key_mean=inter_key_mean,
+            inter_key_std=inter_key_mean * float(rng.uniform(0.35, 0.45)),
+            travel_scale_x=float(np.exp(rng.normal(np.log(2.2), 0.03 * s))),
+            travel_scale_y=float(np.exp(rng.normal(np.log(1.4), 0.03 * s))),
+            session_keys_mean=float(np.clip(rng.normal(42.0, 3.0 * s), 12.0, 110.0)),
+            special_rates=mix * event_rate,
+            accel_orientation=orientation,
+            accel_tremor=float(np.exp(rng.normal(np.log(0.035), 0.08 * s))),
+            accel_mixing=mixing,
+            fatigue_slope=float(rng.normal(0.004, 0.002 * s)),
+            burst_period=float(rng.uniform(3.0, 14.0)),
+            burst_depth=float(np.clip(rng.normal(0.35, 0.15 * s), 0.05, 0.8)),
+            speed_autocorr=float(np.clip(rng.normal(0.45, 0.18 * s), 0.05, 0.95)),
+            walk_probability=float(np.clip(rng.beta(3.0, 3.0), 0.1, 0.9)),
+            context_response=rng.choice([-1.0, 1.0], size=4)
+            * rng.uniform(0.6, 1.0, size=4) * s,
+            gap_duration_coupling=float(rng.choice([-1.0, 1.0])
+                                        * rng.uniform(0.5, 1.0) * s),
+            mood_presentation=float(rng.choice([1.0, -1.0], p=[0.65, 0.35])),
+        )
+
+    # ------------------------------------------------------------------
+    # Mood trajectory
+    # ------------------------------------------------------------------
+    def sample_mood_trajectory(self, user_id, num_sessions):
+        """Episodic mood score in [0, 1] per session.
+
+        Mirrors a mood-disorder cohort: each participant has a habitual
+        pole (euthymic ~0.3 or disturbed ~0.7), drifts around it with an
+        AR(1) process, and occasionally switches pole for an episode.  A
+        score above 0.5 is labelled as the disturbed class, as in the
+        paper's binarized depression-score prediction.
+        """
+        rng = np.random.default_rng((self.seed, 2000 + user_id))
+        poles = (float(rng.uniform(0.10, 0.30)), float(rng.uniform(0.70, 0.90)))
+        current = int(rng.random() < 0.5)
+        scores = np.empty(num_sessions)
+        level = poles[current]
+        for i in range(num_sessions):
+            if rng.random() < 0.015:  # episode onset/remission
+                current = 1 - current
+            level = 0.90 * level + 0.10 * poles[current] + rng.normal(0.0, 0.035)
+            level = float(np.clip(level, 0.0, 1.0))
+            scores[i] = level
+        return scores
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def sample_session(self, profile, mood_score, rng):
+        """Generate one session under ``profile`` at the given mood score.
+
+        Two sources of variation are layered on the user's signature:
+
+        * **session context** — a per-session tempo multiplier, a fresh
+          grip orientation (people re-hold their phones), jittered key
+          travel and special-key rates, and a walking/seated context that
+          strongly changes tremor.  This keeps single aggregate statistics
+          ambiguous across users.
+        * **mood effects** (scaled by ``mood_effect``) — psychomotor
+          retardation: keypresses slow down and become more variable,
+          error corrections (backspace/auto-correct) increase, gross
+          movement is damped while tremor rises slightly.
+        """
+        mood = (mood_score - 0.5) * 2.0 * self.mood_effect  # [-1, 1] signed
+        severity = max(mood, 0.0)
+        # Presentation differs by patient: psychomotor *retardation* slows
+        # typing, *agitation* speeds it up.  A population-level linear model
+        # cannot exploit speed for mood; an identity-aware model can.
+        presentation = profile.mood_presentation
+        slow = float(np.exp(0.55 * severity * presentation
+                            - 0.08 * max(-mood, 0.0)))
+        noisy = 1.0 + 0.5 * max(mood, 0.0)
+
+        # --- session context -------------------------------------------------
+        tempo = float(np.exp(rng.normal(0.0, 0.20 * self.noise_level)))
+        duration_tempo = float(np.exp(rng.normal(0.0, 0.15 * self.noise_level)))
+        walking = rng.random() < profile.walk_probability
+        # User-specific context response: e.g. some users type *faster*
+        # while walking, others slower — an interaction only visible
+        # jointly with the accelerometer view.  The multiplier is centred
+        # so a user's *marginal* statistics stay neutral; only the joint
+        # (motion, dynamics) distribution carries the identity signal.
+        resp = profile.context_response
+        shift = (1.0 if walking else 0.0) - profile.walk_probability
+        tempo *= float(np.exp(0.50 * resp[0] * shift))
+        duration_tempo *= float(np.exp(0.40 * resp[1] * shift))
+        orientation = profile.accel_orientation + rng.normal(
+            0.0, (0.35 if walking else 0.22) * self.noise_level, size=3)
+        orientation = orientation / np.linalg.norm(orientation)
+        travel_x = profile.travel_scale_x * float(np.exp(rng.normal(0.0, 0.15)))
+        travel_y = profile.travel_scale_y * float(np.exp(rng.normal(0.0, 0.15)))
+        travel_x *= float(np.exp(0.60 * resp[2] * shift))
+        travel_y *= float(np.exp(0.60 * resp[2] * shift))
+        keys_scale = float(np.exp(rng.normal(0.0, 0.30 * self.noise_level)))
+
+        n_keys = max(5, int(rng.poisson(
+            profile.session_keys_mean * keys_scale
+            * (1.0 - 0.15 * max(mood, 0.0)))))
+
+        duration_std = profile.keypress_duration_std * float(
+            np.exp(rng.normal(0.0, 0.30)))
+        inter_key_std = profile.inter_key_std * float(
+            np.exp(rng.normal(0.0, 0.30)))
+        durations = np.empty(n_keys)
+        gaps = np.empty(n_keys)
+        dx = np.empty(n_keys)
+        dy = np.empty(n_keys)
+        # AR(1) speed process gives the user-specific rhythm a sequence
+        # model can exploit; flat statistics cannot see the autocorrelation.
+        # Psychomotor retardation leaves order-level fingerprints: speed
+        # autocorrelation rises (sluggish dynamics), the healthy typing
+        # rhythm (burst cycle) flattens, and within-session fatigue grows.
+        # None of these move session-level marginal statistics much, which
+        # is precisely why sequence models excel at this task (Sec. IV-A).
+        rho = float(np.clip(profile.speed_autocorr + 0.40 * severity, 0.03, 0.97))
+        burst_depth = profile.burst_depth * (1.0 - 0.5 * severity)
+        state = rng.normal(0.0, 1.0)
+        # Rumination pauses: mood raises the rate of clustered long gaps.
+        pause_rate = 0.015 + 0.15 * severity * max(presentation, 0.0)
+        pause_state = False
+        for k in range(n_keys):
+            state = rho * state + np.sqrt(max(1.0 - rho ** 2, 1e-9)) * rng.normal()
+            burst = 1.0 + burst_depth * np.sin(
+                2.0 * np.pi * k / profile.burst_period
+            )
+            fatigue = 1.0 + profile.fatigue_slope * k * (1.0 + 3.0 * severity * max(presentation, 0.0))
+            gap = profile.inter_key_mean * tempo * slow * burst * fatigue * np.exp(
+                0.45 * state
+            )
+            if pause_state:
+                gap *= rng.uniform(1.8, 3.0)
+                pause_state = rng.random() < 0.5  # pauses arrive in bursts
+            elif rng.random() < pause_rate:
+                pause_state = True
+            gaps[k] = max(gap + rng.normal(0.0, inter_key_std * 0.2 * noisy), 0.01)
+            duration = profile.keypress_duration_mean * duration_tempo * slow * np.exp(
+                0.35 * profile.gap_duration_coupling * state
+            )
+            durations[k] = max(
+                duration + rng.normal(0.0, duration_std * noisy), 0.01
+            )
+            dx[k] = rng.laplace(0.0, travel_x)
+            dy[k] = rng.laplace(0.0, travel_y)
+        gaps[0] = 0.0
+        alphanumeric = np.stack([durations, gaps, dx, dy], axis=1)
+
+        # Special-key events: per-keypress Bernoulli draws per event type,
+        # with session-level habit jitter and mood raising correction rates.
+        rates = profile.special_rates * np.exp(
+            rng.normal(0.0, 0.35 * self.noise_level, size=len(SPECIAL_KEYS)))
+        # Typing on the move changes error/shortcut habits per user
+        # (again centred to keep marginal rates neutral).
+        rates[:2] = rates[:2] * float(np.exp(0.9 * resp[3] * shift))
+        rates[0] *= 1.0 + 0.4 * severity   # auto_correct
+        rates[1] *= 1.0 + 0.5 * severity   # backspace
+        rates = np.clip(rates, 0.0, 0.95)
+        specials = []
+        for _ in range(n_keys):
+            draws = rng.random(len(SPECIAL_KEYS)) < rates
+            for idx in np.flatnonzero(draws):
+                row = np.zeros(len(SPECIAL_KEYS))
+                row[idx] = 1.0
+                specials.append(row)
+        if not specials:
+            row = np.zeros(len(SPECIAL_KEYS))
+            row[2] = 1.0  # sessions virtually always contain a space
+            specials.append(row)
+        special = np.asarray(specials)
+
+        # Accelerometer: gravity along the session grip plus user-mixed
+        # coloured tremor, sampled every 60 ms for the session duration.
+        session_seconds = float(durations.sum() + gaps.sum())
+        n_samples = max(4, int(session_seconds / ACCEL_PERIOD))
+        n_samples = min(n_samples, 512)
+        tremor_scale = profile.accel_tremor * (1.0 + 0.4 * max(mood, 0.0))
+        if walking:
+            tremor_scale *= 3.5
+        tremor_scale *= float(np.exp(rng.normal(0.0, 0.25 * self.noise_level)))
+        white = rng.normal(0.0, 1.0, size=(n_samples, 3))
+        # AR(1) colouring in time, then user-specific axis mixing (with a
+        # small session-level perturbation of the mixing itself).
+        colored = np.empty_like(white)
+        colored[0] = white[0]
+        for t in range(1, n_samples):
+            colored[t] = 0.8 * colored[t - 1] + 0.6 * white[t]
+        mixing = profile.accel_mixing + rng.normal(0.0, 0.12, size=(3, 3))
+        motion = 1.0 - 0.3 * max(mood, 0.0)  # damped movement when depressed
+        accel = (
+            9.81 * orientation
+            + motion * tremor_scale * 9.81 * (colored @ mixing.T)
+        )
+
+        return Session(
+            user_id=profile.user_id,
+            mood_score=float(mood_score),
+            mood_label=int(mood_score > 0.5),
+            alphanumeric=alphanumeric,
+            special=special,
+            accelerometer=accel,
+            duration=session_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Cohorts
+    # ------------------------------------------------------------------
+    def generate_cohort(self, num_users, sessions_per_user):
+        """Generate a full cohort.
+
+        ``sessions_per_user`` may be an int (same count for everyone) or a
+        sequence of per-user counts (used to reproduce Fig. 5, where
+        participants contribute very different numbers of sessions).
+        """
+        if np.isscalar(sessions_per_user):
+            counts = [int(sessions_per_user)] * num_users
+        else:
+            counts = [int(c) for c in sessions_per_user]
+            if len(counts) != num_users:
+                raise ValueError("need one session count per user")
+        profiles = [self.sample_profile(uid) for uid in range(num_users)]
+        cohort = TypingCohort(profiles=profiles)
+        for profile, count in zip(profiles, counts):
+            rng = np.random.default_rng((self.seed, 3000 + profile.user_id))
+            moods = self.sample_mood_trajectory(profile.user_id, count)
+            cohort.sessions[profile.user_id] = [
+                self.sample_session(profile, moods[i], rng) for i in range(count)
+            ]
+        return cohort

@@ -1,0 +1,157 @@
+"""Convolution and pooling primitives with custom backward passes.
+
+The survey's efficient-inference sections (MobileNets, Deep Compression,
+CirCNN) all operate on convolutional networks, so the substrate needs real
+2-D convolutions.  We implement them with the classic im2col/col2im
+transformation so the heavy lifting is a single matrix multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["im2col", "col2im", "conv2d", "max_pool2d", "avg_pool2d"]
+
+
+def _out_size(size, kernel, stride, padding):
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x, kernel_h, kernel_w, stride=1, padding=0):
+    """Unfold an (N, C, H, W) array into (N*OH*OW, C*KH*KW) patches."""
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel_h, stride, padding)
+    ow = _out_size(w, kernel_w, stride, padding)
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, c, kernel_h, kernel_w, oh, ow), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * oh
+        for j in range(kernel_w):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1), oh, ow
+
+
+def col2im(cols, x_shape, kernel_h, kernel_w, stride=1, padding=0):
+    """Fold (N*OH*OW, C*KH*KW) patch gradients back to an (N, C, H, W) array."""
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel_h, stride, padding)
+    ow = _out_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, oh, ow, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * oh
+        for j in range(kernel_w):
+            j_max = j + stride * ow
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
+    """2-D cross-correlation of (N, C, H, W) input with (F, C/g, KH, KW) filters.
+
+    ``groups`` enables depthwise convolutions (``groups == C`` with one
+    filter per channel) as used by MobileNets.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, c_per_group, kh, kw = weight.shape
+    if c % groups or f % groups:
+        raise ValueError("channels and filters must be divisible by groups")
+    if c_per_group != c // groups:
+        raise ValueError(
+            "weight expects {} input channels per group, input has {}".format(
+                c_per_group, c // groups
+            )
+        )
+    oh = _out_size(h, kh, stride, padding)
+    ow = _out_size(w, kw, stride, padding)
+
+    f_per_group = f // groups
+    out_data = np.empty((n, f, oh, ow), dtype=np.float64)
+    saved_cols = []
+    for g in range(groups):
+        xg = x.data[:, g * c_per_group:(g + 1) * c_per_group]
+        wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
+        cols, _, _ = im2col(xg, kh, kw, stride, padding)
+        saved_cols.append(cols)
+        out = cols @ wg.reshape(f_per_group, -1).T  # (N*OH*OW, Fg)
+        out_data[:, g * f_per_group:(g + 1) * f_per_group] = (
+            out.reshape(n, oh, ow, f_per_group).transpose(0, 3, 1, 2)
+        )
+
+    parents = [x, weight]
+    if bias is not None:
+        bias = as_tensor(bias)
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+        parents.append(bias)
+
+    def backward(grad, grads):
+        grad_x = np.zeros_like(x.data)
+        grad_w = np.zeros_like(weight.data)
+        for g in range(groups):
+            wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
+            gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
+            gg_cols = gg.transpose(0, 2, 3, 1).reshape(-1, f_per_group)
+            grad_w[g * f_per_group:(g + 1) * f_per_group] = (
+                (gg_cols.T @ saved_cols[g]).reshape(f_per_group, c_per_group, kh, kw)
+            )
+            grad_cols = gg_cols @ wg.reshape(f_per_group, -1)
+            grad_x[:, g * c_per_group:(g + 1) * c_per_group] = col2im(
+                grad_cols, (n, c_per_group, h, w), kh, kw, stride, padding
+            )
+        Tensor._send(grads, x, grad_x)
+        Tensor._send(grads, weight, grad_w)
+        if bias is not None:
+            Tensor._send(grads, bias, grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out_data, tuple(parents), backward)
+
+
+def max_pool2d(x, kernel=2, stride=None):
+    """Max pooling over (N, C, H, W); gradient flows to the argmax only."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, _, _ = im2col(reshaped, kernel, kernel, stride, 0)
+    arg = cols.argmax(axis=1)
+    out_data = cols[np.arange(cols.shape[0]), arg].reshape(n, c, oh, ow)
+
+    def backward(grad, grads):
+        grad_cols = np.zeros_like(cols)
+        grad_cols[np.arange(cols.shape[0]), arg] = grad.reshape(-1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        Tensor._send(grads, x, grad_x.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x, kernel=2, stride=None):
+    """Average pooling over (N, C, H, W)."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    reshaped = x.data.reshape(n * c, 1, h, w)
+    cols, _, _ = im2col(reshaped, kernel, kernel, stride, 0)
+    out_data = cols.mean(axis=1).reshape(n, c, oh, ow)
+
+    def backward(grad, grads):
+        grad_cols = np.repeat(
+            grad.reshape(-1, 1) / (kernel * kernel), kernel * kernel, axis=1
+        )
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        Tensor._send(grads, x, grad_x.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward)

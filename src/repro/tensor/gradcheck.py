@@ -1,0 +1,66 @@
+"""Finite-difference gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(fn, tensor, eps=1e-6):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must read ``tensor.data`` (which is perturbed in place) and
+    return a scalar :class:`Tensor` or float.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = _scalar(fn())
+        flat[i] = original - eps
+        minus = _scalar(fn())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def _scalar(value):
+    if isinstance(value, Tensor):
+        return float(value.data.sum())
+    return float(value)
+
+
+def check_gradients(fn, tensors, eps=1e-6, atol=1e-5, rtol=1e-4):
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable building a scalar loss from ``tensors``.
+    tensors:
+        Leaf tensors with ``requires_grad=True`` to check.
+
+    Returns the list of (analytic, numeric) pairs for further inspection.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = fn()
+    loss.backward(np.ones_like(loss.data))
+    results = []
+    for tensor in tensors:
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numeric_gradient(fn, tensor, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                "gradient mismatch (max abs diff {:.3e})\nanalytic:\n{}\nnumeric:\n{}".format(
+                    worst, analytic, numeric
+                )
+            )
+        results.append((analytic, numeric))
+    return results

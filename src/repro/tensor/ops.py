@@ -1,0 +1,290 @@
+"""Differentiable free functions over :class:`repro.tensor.Tensor`.
+
+These complement the operator overloads on ``Tensor`` with the nonlinear
+functions, reductions, and structural operations the paper's models need
+(GRU gates, softmax classifiers, fusion layers, etc.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "exp",
+    "log",
+    "sqrt",
+    "absolute",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "softplus",
+    "clip",
+    "maximum",
+    "minimum",
+    "where",
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "dropout",
+    "one_hot",
+]
+
+
+def exp(x):
+    """Elementwise exponential."""
+    x = as_tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x, eps=0.0):
+    """Elementwise natural logarithm of ``x + eps``."""
+    x = as_tensor(x)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad / (x.data + eps))
+
+    return Tensor._make(np.log(x.data + eps), (x,), backward)
+
+
+def sqrt(x):
+    """Elementwise square root."""
+    x = as_tensor(x)
+    out_data = np.sqrt(x.data)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad / (2.0 * out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def absolute(x):
+    """Elementwise absolute value (subgradient 0 at the kink)."""
+    x = as_tensor(x)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * np.sign(x.data))
+
+    return Tensor._make(np.abs(x.data), (x,), backward)
+
+
+def tanh(x):
+    """Hyperbolic tangent."""
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * (1.0 - out_data ** 2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x):
+    """Numerically stable logistic sigmoid."""
+    x = as_tensor(x)
+    clipped = np.clip(x.data, -500.0, 500.0)
+    positive = 1.0 / (1.0 + np.exp(-np.abs(clipped)))
+    out_data = np.where(clipped >= 0, positive, 1.0 - positive)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x):
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x, negative_slope=0.01):
+    """Leaky ReLU with configurable negative slope."""
+    x = as_tensor(x)
+    scale = np.where(x.data > 0, 1.0, negative_slope)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * scale)
+
+    return Tensor._make(x.data * scale, (x,), backward)
+
+
+def softplus(x):
+    """Numerically stable log(1 + exp(x))."""
+    x = as_tensor(x)
+    out_data = np.logaddexp(0.0, x.data)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad / (1.0 + np.exp(-x.data)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def clip(x, low, high):
+    """Clamp values to [low, high]; gradient is zero outside the range."""
+    x = as_tensor(x)
+    mask = ((x.data >= low) & (x.data <= high)).astype(np.float64)
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * mask)
+
+    return Tensor._make(np.clip(x.data, low, high), (x,), backward)
+
+
+def maximum(a, b):
+    """Elementwise maximum; ties split the gradient equally."""
+    a, b = as_tensor(a), as_tensor(b)
+    a_wins = (a.data > b.data).astype(np.float64)
+    tie = (a.data == b.data).astype(np.float64) * 0.5
+
+    def backward(grad, grads):
+        Tensor._send(grads, a, grad * (a_wins + tie))
+        Tensor._send(grads, b, grad * (1.0 - a_wins - tie))
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+
+
+def minimum(a, b):
+    """Elementwise minimum; ties split the gradient equally."""
+    return -maximum(-as_tensor(a), -as_tensor(b))
+
+
+def where(condition, a, b):
+    """Select from ``a`` where ``condition`` else from ``b``.
+
+    ``condition`` is treated as a constant boolean mask.
+    """
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(grad, grads):
+        Tensor._send(grads, a, grad * cond)
+        Tensor._send(grads, b, grad * (~cond))
+
+    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)
+
+
+def concat(tensors, axis=0):
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, grads):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            Tensor._send(grads, tensor, grad[tuple(index)])
+
+    return Tensor._make(
+        np.concatenate([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(grad, grads):
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            Tensor._send(grads, tensor, np.squeeze(piece, axis=axis))
+
+    return Tensor._make(
+        np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def logsumexp(x, axis=-1, keepdims=False):
+    """Numerically stable log-sum-exp reduction."""
+    x = as_tensor(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = np.exp(x.data - m)
+    total = shifted.sum(axis=axis, keepdims=True)
+    out_data = np.log(total) + m
+    if not keepdims:
+        out_data = np.squeeze(out_data, axis=axis)
+
+    def backward(grad, grads):
+        g = grad if keepdims else np.expand_dims(grad, axis)
+        Tensor._send(grads, x, g * shifted / total)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x, axis=-1):
+    """Softmax along ``axis`` (stable)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    out_data = exped / exped.sum(axis=axis, keepdims=True)
+
+    def backward(grad, grads):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        Tensor._send(grads, x, out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x, axis=-1):
+    """Log-softmax along ``axis`` (stable)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad, grads):
+        total = grad.sum(axis=axis, keepdims=True)
+        Tensor._send(grads, x, grad - soft * total)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x, rate, rng, training=True):
+    """Inverted dropout: zero a ``rate`` fraction and rescale the rest.
+
+    Parameters
+    ----------
+    rate:
+        Probability of dropping each unit (0 disables dropout).
+    rng:
+        A ``numpy.random.Generator`` supplying the mask.
+    training:
+        When False the input passes through unchanged.
+    """
+    x = as_tensor(x)
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1); got {}".format(rate))
+    keep = 1.0 - rate
+    mask = (rng.random(x.data.shape) < keep).astype(np.float64) / keep
+
+    def backward(grad, grads):
+        Tensor._send(grads, x, grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def one_hot(labels, num_classes):
+    """Encode integer labels as a (n, num_classes) float array (no grad)."""
+    labels = np.asarray(labels, dtype=int)
+    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return out.reshape(labels.shape + (num_classes,))

@@ -1,0 +1,434 @@
+"""A small reverse-mode automatic-differentiation engine over numpy arrays.
+
+This module is the computational substrate for the whole reproduction: the
+paper's models (GRUs, fusion layers, CNNs) were originally implemented in
+Keras/TensorFlow, which is unavailable offline, so we provide an exact
+reverse-mode autodiff engine of our own.
+
+The design follows the classic tape-free formulation: each :class:`Tensor`
+records the tensors it was computed from (``_parents``) and a closure
+(``_backward``) that propagates its gradient to them.  Calling
+:meth:`Tensor.backward` performs a topological sort of the graph and runs
+the closures in reverse order.
+
+Broadcasting is fully supported: gradients flowing into a broadcast operand
+are summed over the broadcast axes by :func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+
+
+class _GradMode:
+    """Process-wide switch for gradient recording (mirrors torch.no_grad)."""
+
+    enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph construction inside its block.
+
+    Use during inference and during update steps that must not be traced::
+
+        with no_grad():
+            prediction = model(x)
+    """
+
+    def __enter__(self):
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _GradMode.enabled = self._previous
+        return False
+
+
+def is_grad_enabled():
+    """Return whether operations currently record the autograd graph."""
+    return _GradMode.enabled
+
+
+def unbroadcast(grad, shape):
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    If a tensor of shape ``shape`` was broadcast during the forward pass,
+    the incoming gradient has the broadcast shape; the correct gradient for
+    the operand sums over every broadcast dimension.
+    """
+    if grad.shape == tuple(shape):
+        return grad
+    # Sum out prepended dimensions.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, dtype=np.float64):
+    """Coerce ``value`` (scalar, array, or Tensor) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """An n-dimensional array that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray`` of floats.
+    requires_grad:
+        If True, gradients with respect to this tensor are accumulated in
+        ``self.grad`` during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad=False, name=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad = None
+        self._backward = None
+        self._parents = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return "Tensor({}{})".format(np.array2string(self.data, precision=4), grad_flag)
+
+    def item(self):
+        """Return the sole element of a scalar tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self):
+        """Return the underlying array (shared storage, do not mutate)."""
+        return self.data
+
+    def detach(self):
+        """Return a new tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self):
+        """Return a deep copy severed from the graph."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward):
+        """Create a result tensor wired into the autograd graph.
+
+        ``backward`` receives the upstream gradient (an ndarray) and must
+        call ``parent.accumulate_grad`` for each parent that requires grad.
+        """
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def accumulate_grad(self, grad):
+        """Add ``grad`` into this tensor's ``.grad`` buffer."""
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1.0, which requires this tensor to be a scalar.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only valid "
+                    "for scalar tensors; got shape {}".format(self.shape)
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    "gradient shape {} does not match tensor shape {}".format(
+                        grad.shape, self.data.shape
+                    )
+                )
+
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                node.accumulate_grad(node_grad)
+            if node._backward is not None:
+                node._backward(node_grad, grads)
+
+    # The closures store partial gradients in the ``grads`` dict keyed by
+    # parent id; leaves pull them into ``.grad`` when visited.  To keep the
+    # closures simple we provide this helper:
+    @staticmethod
+    def _send(grads, parent, grad):
+        """Route ``grad`` to ``parent`` inside a backward closure."""
+        if not parent.requires_grad and parent._backward is None:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape)
+        key = id(parent)
+        if key in grads:
+            grads[key] = grads[key] + grad
+        else:
+            grads[key] = grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators (each returns a new graph node)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad)
+            Tensor._send(grads, other, grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad, grads):
+            Tensor._send(grads, self, -grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad)
+            Tensor._send(grads, other, -grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad * other.data)
+            Tensor._send(grads, other, grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad / other.data)
+            Tensor._send(grads, other, -grad * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad, grads):
+            Tensor._send(
+                grads, self, grad * exponent * np.power(self.data, exponent - 1)
+            )
+
+        return Tensor._make(np.power(self.data, exponent), (self,), backward)
+
+    def __matmul__(self, other):
+        other = as_tensor(other)
+
+        def backward(grad, grads):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                Tensor._send(grads, self, grad * b)
+                Tensor._send(grads, other, grad * a)
+            elif a.ndim == 1:
+                Tensor._send(grads, self, grad @ np.swapaxes(b, -1, -2))
+                Tensor._send(grads, other, a[:, None] * grad[..., None, :])
+            elif b.ndim == 1:
+                Tensor._send(grads, self, np.expand_dims(grad, -1) * b)
+                Tensor._send(grads, other, np.tensordot(grad, a, axes=(range(grad.ndim), range(grad.ndim))))
+            else:
+                ga = grad @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ grad
+                Tensor._send(grads, self, ga)
+                Tensor._send(grads, other, gb)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return plain Tensors of 0/1)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = as_tensor(other)
+        return Tensor((self.data > other.data).astype(np.float64))
+
+    def __lt__(self, other):
+        other = as_tensor(other)
+        return Tensor((self.data < other.data).astype(np.float64))
+
+    def __ge__(self, other):
+        other = as_tensor(other)
+        return Tensor((self.data >= other.data).astype(np.float64))
+
+    def __le__(self, other):
+        other = as_tensor(other)
+        return Tensor((self.data <= other.data).astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad, grads):
+            Tensor._send(grads, self, grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __getitem__(self, index):
+        def backward(grad, grads):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            Tensor._send(grads, self, full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions (also available in repro.tensor.ops as free functions)
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        def backward(grad, grads):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            Tensor._send(grads, self, np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+
+        def backward(grad, grads):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            Tensor._send(grads, self, np.broadcast_to(g, self.data.shape) / count)
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad, grads):
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                o = np.expand_dims(o, axis)
+            mask = (self.data == o).astype(np.float64)
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            Tensor._send(grads, self, mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims=False):
+        return -((-self).max(axis=axis, keepdims=keepdims))

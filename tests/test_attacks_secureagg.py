@@ -1,0 +1,127 @@
+"""Tests for privacy attacks and secure aggregation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.federated.secure_agg import SecureAggregator
+from repro.nn import losses
+from repro.optim import Adam
+from repro.privacy.attacks import GradientInversionAttack, MembershipInferenceAttack
+from repro.synth import make_digits
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_model(rng):
+    return nn.Sequential(nn.Linear(64, 24, rng=rng), nn.ReLU(),
+                         nn.Linear(24, 10, rng=rng))
+
+
+class TestGradientInversion:
+    def test_clean_gradient_reconstructs_input(self, rng):
+        model = make_model(rng)
+        x, y = make_digits(5, seed=1)
+        attack = GradientInversionAttack()
+        recovered, similarity = attack.attack(model, x[0], y[0])
+        assert similarity > 0.99
+
+    def test_reconstruction_is_near_exact(self, rng):
+        model = make_model(rng)
+        x, y = make_digits(3, seed=2)
+        attack = GradientInversionAttack()
+        gradient = attack.capture_gradient(model, x[1], y[1])
+        recovered = attack.reconstruct(gradient)
+        # Up to numerical error the analytic inversion is exact.
+        assert np.allclose(recovered, x[1], atol=1e-6)
+
+    def test_dp_noise_degrades_attack(self, rng):
+        model = make_model(rng)
+        x, y = make_digits(5, seed=1)
+        attack = GradientInversionAttack()
+        _, clean = attack.attack(model, x[0], y[0], noise_std=0.0)
+        _, noisy = attack.attack(model, x[0], y[0], noise_std=0.5,
+                                 rng=np.random.default_rng(1))
+        assert clean > noisy
+
+    def test_quality_metric_bounds(self):
+        attack = GradientInversionAttack()
+        v = np.array([1.0, 2.0, 3.0])
+        assert attack.reconstruction_quality(v, v) == pytest.approx(1.0)
+        assert attack.reconstruction_quality(v, -v) == pytest.approx(-1.0)
+        assert attack.reconstruction_quality(v, np.zeros(3)) == 0.0
+
+
+class TestMembershipInference:
+    def test_overfit_model_leaks_membership(self, rng):
+        x, y = make_digits(120, seed=1, noise=0.4)
+        nonmember_x, nonmember_y = make_digits(120, seed=2, noise=0.4)
+        model = nn.Sequential(nn.Linear(64, 64, rng=rng), nn.ReLU(),
+                              nn.Linear(64, 10, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.01)
+        for _ in range(120):  # deliberately overfit a small train set
+            optimizer.zero_grad()
+            losses.cross_entropy(model(Tensor(x)), y).backward()
+            optimizer.step()
+        attack = MembershipInferenceAttack()
+        advantage = attack.advantage(model, (x, y),
+                                     (nonmember_x, nonmember_y))
+        assert advantage > 0.1
+
+    def test_untrained_model_has_no_advantage(self, rng):
+        x, y = make_digits(100, seed=1)
+        other = make_digits(100, seed=2)
+        model = make_model(rng)
+        attack = MembershipInferenceAttack()
+        advantage = attack.advantage(model, (x, y), other)
+        assert advantage < 0.15
+
+    def test_calibrate_sets_threshold(self, rng):
+        x, y = make_digits(50, seed=1)
+        other = make_digits(50, seed=2)
+        attack = MembershipInferenceAttack()
+        accuracy = attack.calibrate(make_model(rng), (x, y), other)
+        assert 0.5 <= accuracy <= 1.0
+        assert attack.threshold_ is not None
+
+
+class TestSecureAggregation:
+    def test_sum_is_exact(self, rng):
+        aggregator = SecureAggregator([0, 1, 2, 3], mask_scale=50.0, seed=0)
+        updates = {i: rng.normal(size=(6,)) for i in range(4)}
+        masked = {i: aggregator.mask_update(i, u) for i, u in updates.items()}
+        total = aggregator.aggregate(masked)
+        expected = sum(updates.values())
+        assert np.allclose(total, expected, atol=1e-9)
+
+    def test_individual_uploads_look_random(self, rng):
+        aggregator = SecureAggregator(list(range(5)), mask_scale=100.0, seed=0)
+        update = rng.normal(size=(2000,))
+        masked = aggregator.mask_update(0, update)
+        assert abs(aggregator.leakage_estimate(update, masked)) < 0.1
+        assert not np.allclose(masked, update)
+
+    def test_masks_are_antisymmetric(self):
+        aggregator = SecureAggregator([7, 9], seed=3)
+        m_ab = aggregator._pair_mask(7, 9, (4,))
+        m_ba = aggregator._pair_mask(9, 7, (4,))
+        assert np.allclose(m_ab, -m_ba)
+
+    def test_dropout_raises(self, rng):
+        aggregator = SecureAggregator([0, 1, 2], seed=0)
+        masked = {0: rng.normal(size=3), 1: rng.normal(size=3)}
+        with pytest.raises(ValueError):
+            aggregator.aggregate(masked)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecureAggregator([1])
+        with pytest.raises(ValueError):
+            SecureAggregator([1, 1])
+        aggregator = SecureAggregator([0, 1])
+        with pytest.raises(KeyError):
+            aggregator.mask_update(9, np.zeros(2))

@@ -1,0 +1,204 @@
+"""Tests for the from-scratch classical baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+    RandomForestClassifier,
+    RegressionTree,
+)
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    n = 150
+    x = np.vstack([
+        rng.normal([0, 0], 0.8, (n, 2)),
+        rng.normal([4, 4], 0.8, (n, 2)),
+        rng.normal([0, 5], 0.8, (n, 2)),
+    ])
+    y = np.repeat([0, 1, 2], n)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+@pytest.fixture
+def xor_data():
+    """Classic non-linearly-separable problem: trees yes, linear no."""
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, size=(400, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self, blobs):
+        x, y = blobs
+        model = LogisticRegressionClassifier().fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() > 0.95
+
+    def test_probabilities_normalized(self, blobs):
+        x, y = blobs
+        model = LogisticRegressionClassifier().fit(x, y)
+        probs = model.predict_proba(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_preserves_original_label_values(self, blobs):
+        x, y = blobs
+        model = LogisticRegressionClassifier().fit(x, y + 10)
+        assert set(np.unique(model.predict(x))) <= {10, 11, 12}
+
+    def test_requires_fit(self, blobs):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(blobs[0])
+
+    def test_fails_on_xor(self, xor_data):
+        """Linear models cannot solve XOR — the paper's Sec. IV-A point."""
+        x, y = xor_data
+        model = LogisticRegressionClassifier().fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() < 0.7
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self, blobs):
+        x, y = blobs
+        model = LinearSVMClassifier(c=1.0).fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() > 0.95
+
+    def test_binary_decision_function_sign(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-2, 0.5, (50, 1)), rng.normal(2, 0.5, (50, 1))])
+        y = np.repeat([0, 1], 50)
+        model = LinearSVMClassifier().fit(x, y)
+        scores = model.decision_function(np.array([[-3.0], [3.0]]))
+        assert scores[0, 0] > 0 and scores[1, 1] > 0
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(c=0.0)
+
+
+class TestDecisionTree:
+    def test_solves_xor(self, xor_data):
+        x, y = xor_data
+        model = DecisionTreeClassifier(max_depth=4).fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() > 0.9
+
+    def test_max_depth_respected(self, xor_data):
+        x, y = xor_data
+        model = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert model.depth() <= 2
+
+    def test_pure_node_stops(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        model = DecisionTreeClassifier().fit(x, y)
+        assert model.depth() == 0
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(min_samples_leaf=10).fit(x, y)
+
+        def smallest_leaf(node, indices):
+            if node.is_leaf():
+                return len(indices)
+            mask = x[indices, node.feature] <= node.threshold
+            return min(smallest_leaf(node.left, indices[mask]),
+                       smallest_leaf(node.right, indices[~mask]))
+
+        assert smallest_leaf(model.root_, np.arange(len(x))) >= 10
+
+    def test_probabilities_sum_to_one(self, blobs):
+        x, y = blobs
+        model = DecisionTreeClassifier(max_depth=5).fit(x, y)
+        assert np.allclose(model.predict_proba(x[:20]).sum(axis=1), 1.0)
+
+    def test_deterministic_without_subsampling(self, blobs):
+        x, y = blobs
+        a = DecisionTreeClassifier(max_depth=6).fit(x, y).predict(x)
+        b = DecisionTreeClassifier(max_depth=6).fit(x, y).predict(x)
+        assert (a == b).all()
+
+
+class TestRandomForest:
+    def test_solves_xor(self, xor_data):
+        x, y = xor_data
+        model = RandomForestClassifier(num_trees=30, seed=0).fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() > 0.9
+
+    def test_beats_single_tree_on_noisy_data(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(500, 10))
+        y = ((x[:, 0] + 0.5 * x[:, 1] + rng.normal(0, 0.8, 500)) > 0).astype(int)
+        tree_acc = (DecisionTreeClassifier(max_depth=12)
+                    .fit(x[:350], y[:350]).predict(x[350:]) == y[350:]).mean()
+        forest_acc = (RandomForestClassifier(num_trees=40, seed=0)
+                      .fit(x[:350], y[:350]).predict(x[350:]) == y[350:]).mean()
+        assert forest_acc >= tree_acc
+
+    def test_seed_reproducibility(self, blobs):
+        x, y = blobs
+        a = RandomForestClassifier(num_trees=10, seed=4).fit(x, y).predict(x)
+        b = RandomForestClassifier(num_trees=10, seed=4).fit(x, y).predict(x)
+        assert (a == b).all()
+
+    def test_num_trees_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+
+
+class TestRegressionTree:
+    def test_fits_piecewise_constant(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        target = np.where(x[:, 0] > 0.5, 2.0, -1.0)
+        # Regression on grad = -target (so leaf value = target with hess=1).
+        tree = RegressionTree(max_depth=2, reg_lambda=0.0).fit(
+            x, -target, np.ones(100))
+        pred = tree.predict(x)
+        assert np.abs(pred - target).mean() < 0.1
+
+    def test_leaf_regularization_shrinks(self):
+        x = np.zeros((10, 1))
+        grad = -np.ones(10)
+        hess = np.ones(10)
+        unreg = RegressionTree(reg_lambda=0.0).fit(x, grad, hess).predict(x)
+        reg = RegressionTree(reg_lambda=10.0).fit(x, grad, hess).predict(x)
+        assert abs(reg[0]) < abs(unreg[0])
+
+
+class TestGradientBoosting:
+    def test_solves_xor(self, xor_data):
+        x, y = xor_data
+        model = GradientBoostingClassifier(num_rounds=30, max_depth=3,
+                                           seed=0).fit(x[:300], y[:300])
+        assert (model.predict(x[300:]) == y[300:]).mean() > 0.9
+
+    def test_more_rounds_reduce_training_loss(self, blobs):
+        x, y = blobs
+        short = GradientBoostingClassifier(num_rounds=3, seed=0).fit(
+            x, y, eval_set=(x, y))
+        long = GradientBoostingClassifier(num_rounds=25, seed=0).fit(
+            x, y, eval_set=(x, y))
+        assert long.eval_losses_[-1] < short.eval_losses_[-1]
+
+    def test_probabilities_normalized(self, blobs):
+        x, y = blobs
+        model = GradientBoostingClassifier(num_rounds=10, seed=0).fit(x, y)
+        probs = model.predict_proba(x[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_requires_fit(self, blobs):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict(blobs[0])

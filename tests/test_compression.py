@@ -1,0 +1,359 @@
+"""Tests for pruning, quantization, Huffman coding, and the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression import (
+    CirculantLinear,
+    CompressionReport,
+    DeepCompressionPipeline,
+    DistillationTrainer,
+    HuffmanCode,
+    MagnitudePruner,
+    circulant_matrix,
+    circulant_matvec,
+    dense_bits,
+    factorize_linear,
+    factorize_model,
+    huffman_decode,
+    huffman_encode,
+    kmeans_quantize,
+    prunable_parameters,
+    quantization_error,
+    quantize_model,
+    rank_for_energy,
+    sparse_bits,
+    sparsity,
+    uniform_quantize,
+)
+from repro.nn import losses
+from repro.optim import Adam
+from repro.synth import make_digits
+from repro.tensor import Tensor, check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def small_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(nn.Linear(8, 16, rng=rng), nn.ReLU(),
+                         nn.Linear(16, 4, rng=rng))
+
+
+class TestPruning:
+    def test_prunable_excludes_biases(self, rng):
+        model = small_model(rng)
+        names = [name for name, _ in prunable_parameters(model)]
+        assert all("weight" in name for name in names)
+
+    def test_global_prune_hits_target_sparsity(self, rng):
+        model = small_model(rng)
+        MagnitudePruner(model).prune(0.7)
+        assert abs(sparsity(model) - 0.7) < 0.02
+
+    def test_layer_scope_prunes_each_layer(self, rng):
+        model = small_model(rng)
+        MagnitudePruner(model, scope="layer").prune(0.5)
+        for _, param in prunable_parameters(model):
+            layer_sparsity = (param.data == 0).mean()
+            assert abs(layer_sparsity - 0.5) < 0.1
+
+    def test_prune_removes_smallest_magnitudes(self, rng):
+        model = small_model(rng)
+        magnitudes = np.abs(np.concatenate(
+            [p.data.reshape(-1) for _, p in prunable_parameters(model)]))
+        threshold = np.quantile(magnitudes, 0.5)
+        MagnitudePruner(model).prune(0.5)
+        for _, param in prunable_parameters(model):
+            surviving = np.abs(param.data[param.data != 0])
+            assert (surviving >= threshold - 1e-12).all()
+
+    def test_masks_survive_retraining(self, rng):
+        model = small_model(rng)
+        pruner = MagnitudePruner(model)
+        pruner.prune(0.6)
+        x, y = make_digits(60, seed=1)
+        x = x[:, :8]
+        y = y % 4
+        pruner.retrain(x, y, Adam(model.parameters(), lr=0.01),
+                       losses.cross_entropy, epochs=2, rng=rng)
+        assert sparsity(model) >= 0.59
+
+    def test_iterative_schedule_monotone(self, rng):
+        model = small_model(rng)
+        x, y = make_digits(60, seed=1)
+        x, y = x[:, :8], y % 4
+        pruner = MagnitudePruner(model)
+        reached = pruner.iterative_prune(
+            x, y, lambda m: Adam(m.parameters(), lr=0.01),
+            losses.cross_entropy, [0.3, 0.6], epochs_per_stage=1, rng=rng)
+        assert reached[0] < reached[1]
+
+    def test_invalid_sparsity(self, rng):
+        with pytest.raises(ValueError):
+            MagnitudePruner(small_model(rng)).prune(1.0)
+
+    def test_invalid_scope(self, rng):
+        with pytest.raises(ValueError):
+            MagnitudePruner(small_model(rng), scope="bogus")
+
+
+class TestQuantization:
+    def test_kmeans_codebook_size(self, rng):
+        weights = rng.normal(size=(20, 20))
+        q = kmeans_quantize(weights, bits=3, skip_zeros=False, rng=rng)
+        assert len(q.codebook) <= 8
+        assert q.indices.shape == weights.shape
+
+    def test_kmeans_preserves_zeros(self, rng):
+        weights = rng.normal(size=(10, 10))
+        weights[weights < 0] = 0.0
+        q = kmeans_quantize(weights, bits=4, skip_zeros=True, rng=rng)
+        restored = q.dequantize()
+        assert np.allclose(restored[weights == 0.0], 0.0)
+
+    def test_kmeans_reduces_error_with_more_bits(self, rng):
+        weights = rng.normal(size=(30, 30))
+        coarse = kmeans_quantize(weights, bits=2, rng=rng)
+        fine = kmeans_quantize(weights, bits=6, rng=rng)
+        assert quantization_error(weights, fine) < quantization_error(weights, coarse)
+
+    def test_uniform_quantize_roundtrip_small_error(self, rng):
+        weights = rng.normal(size=(20, 20))
+        q = uniform_quantize(weights, bits=8)
+        assert quantization_error(weights, q) < 0.01
+
+    def test_uniform_symmetric_levels(self):
+        weights = np.array([[-1.0, 0.0, 1.0]])
+        q = uniform_quantize(weights, bits=3)
+        assert np.allclose(q.dequantize(), weights)
+
+    def test_storage_bits_accounting(self, rng):
+        q = kmeans_quantize(rng.normal(size=(10, 10)), bits=4, rng=rng)
+        assert q.storage_bits() == 100 * 4 + q.codebook.size * 32
+
+    def test_quantize_model_in_place(self, rng):
+        model = small_model(rng)
+        original = model[0].weight.data.copy()
+        quantized = quantize_model(model, bits=3, rng=rng)
+        assert "layer0.weight" in quantized
+        # Weights replaced by dequantized codebook values.
+        assert len(np.unique(model[0].weight.data)) <= 2 ** 3
+        assert not np.allclose(model[0].weight.data, original)
+
+    def test_bits_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_quantize(rng.normal(size=(3, 3)), bits=0)
+        with pytest.raises(ValueError):
+            kmeans_quantize(rng.normal(size=(3, 3)), bits=20)
+
+
+class TestHuffman:
+    def test_roundtrip(self, rng):
+        symbols = rng.integers(0, 16, size=400)
+        packed, nbits, code = huffman_encode(symbols)
+        decoded = huffman_decode(packed, nbits, code)
+        assert decoded == list(symbols)
+
+    def test_skewed_distribution_compresses_better(self, rng):
+        skewed = rng.choice(8, size=2000, p=[0.8] + [0.2 / 7] * 7)
+        uniform = rng.integers(0, 8, size=2000)
+        _, skewed_bits, _ = huffman_encode(skewed)
+        _, uniform_bits, _ = huffman_encode(uniform)
+        assert skewed_bits < uniform_bits * 0.6
+
+    def test_single_symbol_stream(self):
+        packed, nbits, code = huffman_encode([5, 5, 5])
+        assert nbits == 3
+        assert huffman_decode(packed, nbits, code) == [5, 5, 5]
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ValueError):
+            HuffmanCode.from_symbols([])
+
+    def test_code_is_prefix_free(self, rng):
+        symbols = rng.integers(0, 10, size=300)
+        code = HuffmanCode.from_symbols(symbols)
+        codes = list(code.codes.values())
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_near_entropy_optimal(self, rng):
+        probabilities = np.array([0.5, 0.25, 0.125, 0.125])
+        symbols = rng.choice(4, size=4000, p=probabilities)
+        code = HuffmanCode.from_symbols(symbols)
+        avg_bits = code.expected_bits_per_symbol(symbols)
+        entropy = -(probabilities * np.log2(probabilities)).sum()
+        assert avg_bits <= entropy + 0.1
+
+    def test_corrupted_stream_raises(self, rng):
+        symbols = rng.integers(0, 8, size=100)
+        packed, nbits, code = huffman_encode(symbols)
+        with pytest.raises(ValueError):
+            huffman_decode(packed, nbits - 1, code)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        x, y = make_digits(500, seed=1)
+        test = make_digits(150, seed=2)
+        model = nn.Sequential(nn.Linear(64, 32, rng=rng), nn.ReLU(),
+                              nn.Linear(32, 10, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.02)
+        for _ in range(10):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x), 64):
+                picks = order[start:start + 64]
+                optimizer.zero_grad()
+                losses.cross_entropy(model(Tensor(x[picks])), y[picks]).backward()
+                optimizer.step()
+        return model, (x, y), test
+
+    def test_full_pipeline_compresses_without_big_accuracy_loss(self, trained):
+        model, train, test = trained
+        pipeline = DeepCompressionPipeline(model, prune_sparsity=0.7,
+                                           quant_bits=5, retrain_epochs=3)
+        report = pipeline.run(train, test)
+        assert report.final_ratio() > 5.0
+        assert report.accuracy_drop() < 0.05
+        assert [s.stage for s in report.stages][0] == "original"
+        assert len(report.stages) == 4
+
+    def test_stage_sizes_monotone_decreasing(self, trained):
+        model, train, test = trained
+        # model already compressed by the previous test; rebuild bits check
+        report = CompressionReport()
+        report.add("a", 1000, 0.9)
+        report.add("b", 400, 0.9)
+        assert report.ratio("b") == pytest.approx(2.5)
+        with pytest.raises(KeyError):
+            report.ratio("zzz")
+
+    def test_sparse_bits_less_than_dense_when_pruned(self, rng):
+        model = small_model(rng)
+        MagnitudePruner(model).prune(0.8)
+        assert sparse_bits(model) < dense_bits(model)
+
+    def test_dense_bits(self, rng):
+        model = small_model(rng)
+        assert dense_bits(model) == model.num_parameters() * 32
+
+
+class TestLowRank:
+    def test_rank_for_energy(self):
+        assert rank_for_energy([10.0, 1.0, 0.1], energy=0.9) == 1
+        assert rank_for_energy([1.0, 1.0], energy=0.99) == 2
+        with pytest.raises(ValueError):
+            rank_for_energy([1.0], energy=0.0)
+
+    def test_factorize_linear_exact_at_full_rank(self, rng):
+        layer = nn.Linear(6, 4, rng=rng)
+        pair, rank = factorize_linear(layer, rank=4)
+        x = Tensor(rng.normal(size=(5, 6)))
+        assert np.allclose(pair(x).numpy(), layer(x).numpy(), atol=1e-10)
+
+    def test_factorize_truncation_approximates(self, rng):
+        # Construct a nearly rank-1 weight.
+        u = rng.normal(size=(12, 1))
+        v = rng.normal(size=(1, 10))
+        layer = nn.Linear(10, 12, rng=rng)
+        layer.weight.data = u @ v + 0.001 * rng.normal(size=(12, 10))
+        pair, rank = factorize_linear(layer, energy=0.95)
+        assert rank == 1
+        x = Tensor(rng.normal(size=(4, 10)))
+        assert np.allclose(pair(x).numpy(), layer(x).numpy(), atol=0.05)
+
+    def test_factorize_model_only_shrinks(self, rng):
+        model = nn.Sequential(nn.Linear(40, 40, rng=rng), nn.ReLU(),
+                              nn.Linear(40, 10, rng=rng))
+        factored, report = factorize_model(model, rank=5, min_params=100)
+        assert factored.num_parameters() < model.num_parameters()
+        for _, old, new, _ in report:
+            assert new < old
+
+    def test_factorize_model_type_check(self, rng):
+        with pytest.raises(TypeError):
+            factorize_model(nn.Linear(4, 4, rng=rng))
+
+
+class TestCirculant:
+    def test_matvec_matches_dense(self, rng):
+        row = rng.normal(size=8)
+        x = rng.normal(size=(3, 8))
+        dense = circulant_matrix(row)
+        out = circulant_matvec(Tensor(x), Tensor(row)).numpy()
+        assert np.allclose(out, x @ dense.T)
+
+    def test_matvec_gradients(self, rng):
+        row = Tensor(rng.normal(size=6), requires_grad=True)
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        check_gradients(lambda: (circulant_matvec(x, row) ** 2).sum(), [x, row])
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            circulant_matvec(Tensor(rng.normal(size=(2, 5))),
+                             Tensor(rng.normal(size=4)))
+
+    def test_layer_shapes_with_padding(self, rng):
+        layer = CirculantLinear(10, 7, block_size=4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 10))))
+        assert out.shape == (3, 7)
+
+    def test_parameter_savings(self, rng):
+        layer = CirculantLinear(64, 64, block_size=16, rng=rng)
+        assert layer.num_weight_parameters() == 64 * 64 // 16
+        assert layer.dense_equivalent_parameters() == 64 * 64
+
+    def test_layer_is_trainable(self, rng):
+        layer = CirculantLinear(8, 8, block_size=4, rng=rng)
+        x = Tensor(rng.normal(size=(5, 8)))
+        (layer(x) ** 2).sum().backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+    def test_gradient_flows_through_stacked_layers(self, rng):
+        model = nn.Sequential(CirculantLinear(8, 8, block_size=4, rng=rng),
+                              nn.Tanh(),
+                              CirculantLinear(8, 4, block_size=4, rng=rng))
+        x = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        (model(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestDistillation:
+    def test_student_learns_from_teacher(self):
+        rng = np.random.default_rng(0)
+        x, y = make_digits(600, seed=1)
+        test_x, test_y = make_digits(200, seed=2)
+        teacher = nn.Sequential(nn.Linear(64, 48, rng=rng), nn.ReLU(),
+                                nn.Linear(48, 10, rng=rng))
+        optimizer = Adam(teacher.parameters(), lr=0.02)
+        for _ in range(10):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x), 64):
+                picks = order[start:start + 64]
+                optimizer.zero_grad()
+                losses.cross_entropy(teacher(Tensor(x[picks])), y[picks]).backward()
+                optimizer.step()
+        student = nn.Sequential(nn.Linear(64, 12, rng=rng), nn.ReLU(),
+                                nn.Linear(12, 10, rng=rng))
+        distiller = DistillationTrainer(teacher, student, temperature=3.0,
+                                        alpha=0.7, lr=0.02)
+        distiller.train(x, y, epochs=8)
+        assert distiller.evaluate(test_x, test_y) > 0.85
+        assert distiller.agreement(test_x) > 0.85
+
+    def test_validation(self, rng):
+        model = small_model(rng)
+        with pytest.raises(ValueError):
+            DistillationTrainer(model, model, temperature=0.0)
+        with pytest.raises(ValueError):
+            DistillationTrainer(model, model, alpha=1.5)

@@ -1,0 +1,235 @@
+"""Tests for DeepMood / DEEPSERVICE: features, model, trainer, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_MAX_LENGTHS,
+    DeepMood,
+    DeepService,
+    MultiViewGRUClassifier,
+    SequenceTrainer,
+    baseline_zoo,
+    binary_identification,
+    flat_feature_names,
+    format_comparison,
+    per_participant_accuracy,
+    prepare_views,
+    session_flat_features,
+    sessions_to_dataset,
+    sessions_to_flat,
+    split_cohort_sessions,
+    user_pattern_summary,
+)
+from repro.data import collate_multiview
+from repro.synth import TypingDynamicsGenerator
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return TypingDynamicsGenerator(seed=7).generate_cohort(4, 24)
+
+
+@pytest.fixture(scope="module")
+def sessions(cohort):
+    return cohort.all_sessions()
+
+
+class TestFeatures:
+    def test_prepare_views_truncates(self, sessions):
+        alnum, special, accel = prepare_views(sessions[0])
+        assert len(alnum) <= DEFAULT_MAX_LENGTHS["alphanumeric"]
+        assert len(special) <= DEFAULT_MAX_LENGTHS["special"]
+        assert len(accel) <= DEFAULT_MAX_LENGTHS["accelerometer"]
+
+    def test_prepare_views_log_transforms_timings(self, sessions):
+        session = sessions[0]
+        alnum, _, _ = prepare_views(session)
+        raw = session.alphanumeric[:len(alnum)]
+        assert np.allclose(alnum[:, 0], np.log1p(raw[:, 0] / 0.05))
+        # Travel columns untouched.
+        assert np.allclose(alnum[:, 2:], raw[:, 2:])
+
+    def test_prepare_views_does_not_mutate_session(self, sessions):
+        session = sessions[1]
+        before = session.alphanumeric.copy()
+        prepare_views(session)
+        assert np.allclose(session.alphanumeric, before)
+
+    def test_flat_features_shape_and_names(self, sessions):
+        features = session_flat_features(sessions[0])
+        assert features.shape == (len(flat_feature_names()),)
+        assert np.isfinite(features).all()
+
+    def test_sessions_to_flat_labels(self, sessions):
+        x, y_user = sessions_to_flat(sessions, label="user")
+        _, y_mood = sessions_to_flat(sessions, label="mood")
+        assert x.shape[0] == len(sessions)
+        assert set(np.unique(y_user)) <= {0, 1, 2, 3}
+        assert set(np.unique(y_mood)) <= {0, 1}
+
+    def test_invalid_label(self, sessions):
+        with pytest.raises(ValueError):
+            sessions_to_flat(sessions, label="bogus")
+        with pytest.raises(ValueError):
+            sessions_to_dataset(sessions, label="bogus")
+
+    def test_dataset_views_and_dims(self, sessions):
+        dataset = sessions_to_dataset(sessions, label="user")
+        assert dataset.num_views == 3
+        assert dataset.view_dims() == [4, 6, 3]
+        assert len(dataset) == len(sessions)
+
+    def test_pattern_summary(self, cohort):
+        summary = user_pattern_summary(cohort, top_k=3)
+        assert len(summary) == 3
+        for stats in summary.values():
+            assert stats["median_duration_ms"] > 0
+            assert "space" in stats["special_counts"]
+            assert set(stats["accel_correlations"]) == {"xy", "xz", "yz"}
+
+
+class TestMultiViewModel:
+    def test_forward_shapes(self, sessions):
+        dataset = sessions_to_dataset(sessions[:8], label="user")
+        views, labels = collate_multiview([dataset[i] for i in range(8)])
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=6,
+                                       num_classes=4, fusion="fc", seed=0)
+        logits = model(views)
+        assert logits.shape == (8, 4)
+
+    @pytest.mark.parametrize("fusion", ["fc", "fm", "mvm"])
+    def test_all_fusion_heads_differentiable(self, sessions, fusion):
+        dataset = sessions_to_dataset(sessions[:6], label="user")
+        views, labels = collate_multiview([dataset[i] for i in range(6)])
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=5,
+                                       num_classes=4, fusion=fusion, seed=0)
+        from repro.nn import losses
+
+        loss = losses.cross_entropy(model(views), labels)
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_invalid_fusion(self):
+        with pytest.raises(ValueError):
+            MultiViewGRUClassifier([4], fusion="bogus")
+
+    def test_wrong_view_count(self, sessions):
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=4, seed=0)
+        with pytest.raises(ValueError):
+            model([np.zeros((2, 3, 4))])
+
+    def test_bidirectional_doubles_fused_dim(self):
+        model = MultiViewGRUClassifier([4], hidden_size=5, num_classes=2,
+                                       fusion="fc", bidirectional=True, seed=0)
+        # FC fusion weight expects 2 * hidden + 1 inputs.
+        assert model.fusion.w1.data.shape[1] == 2 * 5 + 1
+
+
+class TestSequenceTrainer:
+    def test_trainer_learns_user_task(self, cohort):
+        train, test = split_cohort_sessions(cohort, seed=0)
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=10,
+                                       num_classes=4, fusion="fc",
+                                       fusion_units=12, seed=0)
+        trainer = SequenceTrainer(model, lr=0.02, seed=0)
+        train_ds = sessions_to_dataset(train, label="user")
+        test_ds = sessions_to_dataset(test, label="user")
+        trainer.fit(train_ds, epochs=6, eval_dataset=test_ds)
+        metrics = trainer.evaluate(test_ds)
+        assert metrics["accuracy"] > 0.4  # 4 classes, chance = 0.25
+        assert 0.0 <= metrics["f1_macro"] <= 1.0
+        assert len(trainer.history) == 6
+
+    def test_keep_best_restores_best_epoch(self, cohort):
+        train, test = split_cohort_sessions(cohort, seed=0)
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=6,
+                                       num_classes=4, seed=0)
+        trainer = SequenceTrainer(model, lr=0.03, seed=0)
+        train_ds = sessions_to_dataset(train, label="user")
+        test_ds = sessions_to_dataset(test, label="user")
+        trainer.fit(train_ds, epochs=4, eval_dataset=test_ds, keep_best=True)
+        best = max(r["eval_accuracy"] for r in trainer.history)
+        final = trainer.evaluate(test_ds)["accuracy"]
+        assert final == pytest.approx(best, abs=1e-9)
+
+    def test_predict_requires_fit(self, cohort):
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=4, seed=0)
+        trainer = SequenceTrainer(model)
+        with pytest.raises(RuntimeError):
+            trainer.predict(sessions_to_dataset(cohort.all_sessions()[:2],
+                                                label="user"))
+
+    def test_predict_returns_original_labels(self, cohort):
+        sessions = cohort.all_sessions()
+        dataset = sessions_to_dataset(sessions, label="user")
+        dataset.labels = dataset.labels + 5  # label space {5..8}
+        model = MultiViewGRUClassifier([4, 6, 3], hidden_size=5,
+                                       num_classes=4, seed=0)
+        trainer = SequenceTrainer(model, seed=0)
+        trainer.fit(dataset, epochs=1)
+        predictions = trainer.predict(dataset)
+        assert set(np.unique(predictions)) <= {5, 6, 7, 8}
+
+
+class TestApplications:
+    def test_deepmood_end_to_end(self, cohort):
+        train, test = split_cohort_sessions(cohort, seed=0)
+        model = DeepMood(hidden_size=8, fusion="fm", fusion_units=4,
+                         lr=0.02, seed=0)
+        model.fit(train, epochs=3)
+        metrics = model.evaluate(test)
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        predictions = model.predict(test)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_deepservice_end_to_end(self, cohort):
+        train, test = split_cohort_sessions(cohort, seed=0)
+        service = DeepService(num_users=4, hidden_size=10, fusion_units=12,
+                              lr=0.02, seed=0)
+        service.fit(train, epochs=6)
+        metrics = service.evaluate(test)
+        assert metrics["accuracy"] > 0.4
+
+    def test_per_participant_accuracy_structure(self, cohort):
+        results = per_participant_accuracy(cohort, epochs=2, hidden_size=6,
+                                           fusion_units=4)
+        assert len(results) == 4
+        for row in results:
+            assert {"participant", "train_sessions", "accuracy"} <= set(row)
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert row["train_sessions"] > 0
+
+    def test_binary_identification_structure(self, cohort):
+        results = binary_identification(cohort, user_pairs=[(0, 1)], epochs=3,
+                                        hidden_size=8, fusion_units=8)
+        assert len(results) == 1
+        assert results[0]["pair"] == (0, 1)
+        assert 0.0 <= results[0]["accuracy"] <= 1.0
+        assert 0.0 <= results[0]["f1"] <= 1.0
+
+    def test_binary_identification_learns_with_enough_data(self):
+        cohort = TypingDynamicsGenerator(seed=7).generate_cohort(2, 100)
+        results = binary_identification(cohort, user_pairs=[(0, 1)],
+                                        epochs=12, hidden_size=12,
+                                        fusion_units=12)
+        assert results[0]["accuracy"] > 0.6
+
+
+class TestExperimentHarness:
+    def test_baseline_zoo_order(self):
+        names = [name for name, _ in baseline_zoo()]
+        assert names == ["LR", "SVM", "Decision Tree", "RandomForest",
+                         "XGBoost"]
+
+    def test_split_cohort_sessions_disjoint(self, cohort):
+        train, test = split_cohort_sessions(cohort, test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(cohort.all_sessions())
+        # Every user appears in both splits.
+        assert {s.user_id for s in train} == set(cohort.user_ids())
+        assert {s.user_id for s in test} == set(cohort.user_ids())
+
+    def test_format_comparison_renders(self):
+        table = format_comparison(
+            {"LR": {"accuracy": 0.5, "f1": 0.4}}, caption="test")
+        assert "LR" in table and "50.00%" in table

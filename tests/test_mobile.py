@@ -1,0 +1,190 @@
+"""Tests for the mobile device / network / fleet simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.mobile import (
+    BYTES_PER_WORD,
+    CELLULAR_3G,
+    CELLULAR_4G,
+    CLOUD_SERVER,
+    FLAGSHIP_PHONE,
+    LOW_END_PHONE,
+    MID_RANGE_PHONE,
+    OFFLINE,
+    WIFI,
+    DeviceState,
+    EnergyConstants,
+    FleetSimulator,
+    NetworkLink,
+    estimate_execution,
+    estimate_transfer,
+    profile_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDeviceProfiles:
+    def test_energy_constants_dram_penalty(self):
+        constants = EnergyConstants()
+        assert constants.dram_penalty() == pytest.approx(128.0)
+
+    def test_onchip_words(self):
+        assert MID_RANGE_PHONE.onchip_words() == 1024 * 1024 // 4
+
+    def test_device_ordering(self):
+        assert LOW_END_PHONE.gflops < MID_RANGE_PHONE.gflops < FLAGSHIP_PHONE.gflops
+        assert CLOUD_SERVER.gflops > FLAGSHIP_PHONE.gflops
+
+
+class TestNetworkLinks:
+    def test_transfer_time_includes_rtt(self):
+        t = WIFI.transfer_seconds(0)
+        assert t == pytest.approx(WIFI.rtt_ms / 1000.0)
+
+    def test_transfer_time_scales_with_bytes(self):
+        small = CELLULAR_4G.transfer_seconds(1000)
+        large = CELLULAR_4G.transfer_seconds(100000)
+        assert large > small
+
+    def test_wifi_faster_than_3g(self):
+        payload = 1_000_000
+        assert WIFI.transfer_seconds(payload) < CELLULAR_3G.transfer_seconds(payload)
+
+    def test_offline_is_infinite(self):
+        assert OFFLINE.transfer_seconds(10) == float("inf")
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError):
+            WIFI.transfer_seconds(-1)
+
+    def test_radio_energy(self):
+        energy = WIFI.transmit_energy_joules(1000, MID_RANGE_PHONE)
+        expected = 1000 * 8 * MID_RANGE_PHONE.radio_tx_nj_per_bit * 1e-9
+        assert energy == pytest.approx(expected)
+
+    def test_metered_flags(self):
+        assert CELLULAR_3G.metered and CELLULAR_4G.metered
+        assert not WIFI.metered
+
+
+class TestCostProfiling:
+    def make_mlp(self, rng):
+        return nn.Sequential(
+            nn.Linear(64, 32, rng=rng), nn.ReLU(), nn.Linear(32, 10, rng=rng)
+        )
+
+    def test_linear_flops_and_params(self, rng):
+        profile = profile_model(self.make_mlp(rng), (64,))
+        layer = profile.layers[0]
+        assert layer.flops == 2 * 64 * 32
+        assert layer.params == 64 * 32 + 32
+        assert profile.total_params == 64 * 32 + 32 + 32 * 10 + 10
+
+    def test_conv_profile(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 8, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.MaxPool2d(2), nn.Flatten(), nn.Linear(8 * 4 * 4, 10, rng=rng),
+        )
+        profile = profile_model(model, (1, 8, 8))
+        conv = profile.layers[0]
+        assert conv.flops == 2 * 1 * 9 * 8 * 8 * 8
+        assert profile.layers[-1].kind == "Linear"
+        assert profile.layers[-1].input_size == 8 * 4 * 4
+
+    def test_depthwise_separable_profile_recurses(self, rng):
+        model = nn.Sequential(nn.DepthwiseSeparableConv2d(4, 8, rng=rng))
+        profile = profile_model(model, (4, 8, 8))
+        kinds = [layer.kind for layer in profile.layers]
+        assert kinds.count("Conv2d") == 2
+
+    def test_split_partitions(self, rng):
+        profile = profile_model(self.make_mlp(rng), (64,))
+        local, remote = profile.split(1)
+        assert len(local.layers) == 1
+        assert len(remote.layers) == 2
+        assert local.total_flops + remote.total_flops == profile.total_flops
+
+    def test_split_bounds(self, rng):
+        profile = profile_model(self.make_mlp(rng), (64,))
+        with pytest.raises(ValueError):
+            profile.split(99)
+
+    def test_boundary_bytes(self, rng):
+        profile = profile_model(self.make_mlp(rng), (64,))
+        assert profile.boundary_bytes(0) == 64 * BYTES_PER_WORD
+        assert profile.boundary_bytes(1) == 32 * BYTES_PER_WORD
+
+
+class TestExecutionCost:
+    def test_latency_scales_inversely_with_gflops(self, rng):
+        model = nn.Sequential(nn.Linear(256, 256, rng=rng))
+        profile = profile_model(model, (256,))
+        slow = estimate_execution(profile, LOW_END_PHONE)
+        fast = estimate_execution(profile, FLAGSHIP_PHONE)
+        ratio = slow.latency_s / fast.latency_s
+        assert ratio == pytest.approx(
+            FLAGSHIP_PHONE.gflops / LOW_END_PHONE.gflops)
+
+    def test_dram_spill_costs_energy(self, rng):
+        small = nn.Sequential(nn.Linear(64, 64, rng=rng))
+        # Large model exceeding 512 KB of on-chip memory.
+        large = nn.Sequential(nn.Linear(512, 2048, rng=rng))
+        small_cost = estimate_execution(profile_model(small, (64,)), LOW_END_PHONE)
+        large_cost = estimate_execution(profile_model(large, (512,)), LOW_END_PHONE)
+        small_per_param = small_cost.device_energy_j / (64 * 64 + 64)
+        large_per_param = large_cost.device_energy_j / (512 * 2048 + 2048)
+        # The spilled model pays more energy *per parameter* (DRAM penalty).
+        assert large_per_param > small_per_param * 2
+
+    def test_transfer_cost_direction(self):
+        up = estimate_transfer(1000, WIFI, MID_RANGE_PHONE, upload=True)
+        down = estimate_transfer(1000, WIFI, MID_RANGE_PHONE, upload=False)
+        assert up.bytes_up == 1000 and up.bytes_down == 0
+        assert down.bytes_down == 1000 and down.bytes_up == 0
+        assert up.device_energy_j > down.device_energy_j  # TX > RX power
+
+    def test_cost_addition(self):
+        from repro.mobile import ExecutionCost
+
+        total = ExecutionCost(1.0, 2.0, 10, 20) + ExecutionCost(0.5, 0.5, 5, 5)
+        assert total.latency_s == 1.5
+        assert total.device_energy_j == 2.5
+        assert total.bytes_up == 15 and total.bytes_down == 25
+
+
+class TestFleet:
+    def test_eligibility_policy(self):
+        eligible = DeviceState(charging=True, idle=True,
+                               on_unmetered_wifi=True, battery_fraction=0.9)
+        assert eligible.eligible()
+        for flag in ("charging", "idle", "on_unmetered_wifi"):
+            kwargs = dict(charging=True, idle=True, on_unmetered_wifi=True,
+                          battery_fraction=0.9)
+            kwargs[flag] = False
+            assert not DeviceState(**kwargs).eligible()
+
+    def test_low_battery_blocks(self):
+        state = DeviceState(charging=True, idle=True, on_unmetered_wifi=True,
+                            battery_fraction=0.05)
+        assert not state.eligible(min_battery=0.2)
+
+    def test_fleet_diurnal_pattern(self):
+        fleet = FleetSimulator(num_devices=200, seed=0)
+        night = fleet.eligibility_curve([3.0])[0]
+        midday = fleet.eligibility_curve([13.0])[0]
+        assert night > midday + 0.2
+
+    def test_eligible_ids_subset(self):
+        fleet = FleetSimulator(num_devices=30, seed=0)
+        ids = fleet.eligible_at(2.0)
+        assert set(ids) <= set(range(30))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(num_devices=0)

@@ -1,0 +1,219 @@
+"""Tests for the Module system and feed-forward layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleSystem:
+    def test_parameter_discovery(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(),
+                              nn.Linear(8, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self, rng):
+        model = nn.Linear(4, 8, rng=rng)
+        assert model.num_parameters() == 4 * 8 + 8
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.Tanh(),
+                          nn.Linear(3, 2, rng=rng))
+        b = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(9)),
+                          nn.Tanh(),
+                          nn.Linear(3, 2, rng=np.random.default_rng(9)))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(rng.normal(size=(5, 4)))
+        assert np.allclose(a(x).numpy(), b(x).numpy())
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 4))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_state_dict_is_a_copy(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        state = a.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(a.weight.data, 0.0)
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.Dropout(0.5))
+        model.eval()
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+    def test_zero_grad(self, rng):
+        model = nn.Linear(4, 2, rng=rng)
+        loss = model(Tensor(rng.normal(size=(3, 4)))).sum()
+        loss.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_sequential_iteration_and_indexing(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+        assert len(list(model)) == 2
+
+    def test_sequential_append(self, rng):
+        model = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+        assert len(model.parameters()) == 2
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(),
+                        [x, layer.weight, layer.bias])
+
+
+class TestNormalization:
+    def test_batchnorm_normalizes_in_training(self, rng):
+        layer = nn.BatchNorm1d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(64, 4)))
+        out = layer(x).numpy()
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_running_stats_used_in_eval(self, rng):
+        layer = nn.BatchNorm1d(4, momentum=0.5)
+        x = rng.normal(loc=3.0, size=(64, 4))
+        for _ in range(20):
+            layer(Tensor(x))
+        layer.eval()
+        out = layer(Tensor(x)).numpy()
+        assert abs(out.mean()) < 0.2
+
+    def test_batchnorm_gradients(self, rng):
+        layer = nn.BatchNorm1d(3)
+        x = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(),
+                        [x, layer.gamma, layer.beta])
+
+    def test_layernorm_normalizes_rows(self, rng):
+        layer = nn.LayerNorm(6)
+        x = Tensor(rng.normal(loc=5.0, size=(4, 6)))
+        out = layer(x).numpy()
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+
+    def test_layernorm_gradients(self, rng):
+        layer = nn.LayerNorm(4)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(),
+                        [x, layer.gamma, layer.beta])
+
+
+class TestActivationModules:
+    @pytest.mark.parametrize("module,fn", [
+        (nn.ReLU(), lambda x: np.maximum(x, 0)),
+        (nn.Tanh(), np.tanh),
+        (nn.Identity(), lambda x: x),
+    ])
+    def test_forward(self, rng, module, fn):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(module(Tensor(x)).numpy(), fn(x))
+
+    def test_softmax_module(self, rng):
+        out = nn.Softmax()(Tensor(rng.normal(size=(3, 4)))).numpy()
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(rate=1.5)
+
+
+class TestInit:
+    def test_glorot_uniform_bounds(self, rng):
+        from repro.nn.init import glorot_uniform
+
+        w = glorot_uniform((100, 200), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= limit
+
+    def test_he_normal_scale(self, rng):
+        from repro.nn.init import he_normal
+
+        w = he_normal((2000, 500), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 500)) < 0.005
+
+    def test_orthogonal_is_orthogonal(self, rng):
+        from repro.nn.init import orthogonal
+
+        w = orthogonal((16, 16), rng)
+        assert np.allclose(w @ w.T, np.eye(16), atol=1e-8)
+
+    def test_conv_fan_computation(self, rng):
+        from repro.nn.init import _fan
+
+        fan_in, fan_out = _fan((8, 4, 3, 3))
+        assert fan_in == 4 * 9 and fan_out == 8 * 9
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        from repro.nn import load_model, save_model
+        from repro.tensor import Tensor
+
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.Tanh(),
+                              nn.Linear(8, 2, rng=rng))
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        clone = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
+        load_model(clone, path)
+        x = Tensor(rng.normal(size=(5, 4)))
+        assert np.allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_save_load_preserves_buffers(self, rng, tmp_path):
+        from repro.nn import load_model, save_model
+        from repro.tensor import Tensor
+
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.BatchNorm1d(4))
+        for _ in range(3):
+            model(Tensor(rng.normal(loc=2.0, size=(16, 4))))
+        path = str(tmp_path / "bn.npz")
+        save_model(model, path)
+        clone = nn.Sequential(nn.Linear(4, 4), nn.BatchNorm1d(4))
+        load_model(clone, path)
+        assert np.allclose(clone[1].running_mean, model[1].running_mean)
+
+    def test_state_dict_size(self, rng):
+        from repro.nn import state_dict_size_bytes
+
+        model = nn.Linear(4, 8, rng=rng)
+        assert state_dict_size_bytes(model) == (4 * 8 + 8) * 8  # float64

@@ -1,0 +1,149 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import losses
+from repro.optim import (
+    SGD,
+    Adagrad,
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    RMSprop,
+    StepLR,
+    clip_grad_norm,
+)
+from repro.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    from repro.nn import Parameter
+
+    return Parameter(np.array([start]))
+
+
+def minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        # d/dx of (x-2)^2 is 2(x-2)
+        param.grad = 2.0 * (param.data - 2.0)
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("factory", [
+        lambda p: SGD([p], lr=0.1),
+        lambda p: SGD([p], lr=0.05, momentum=0.9),
+        lambda p: SGD([p], lr=0.05, momentum=0.9, nesterov=True),
+        lambda p: Adam([p], lr=0.2),
+        lambda p: Adagrad([p], lr=1.0),
+        lambda p: RMSprop([p], lr=0.05),
+    ])
+    def test_converges_on_quadratic(self, factory):
+        param = quadratic_param()
+        result = minimize(factory(param), param)
+        assert abs(result - 2.0) < 1e-2
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        param = quadratic_param(start=1.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=10.0)
+        for _ in range(20):
+            optimizer.zero_grad()
+            param.grad = np.zeros_like(param.data)
+            optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+    def test_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        optimizer = SGD([p1, p2], lr=0.1)
+        p1.grad = np.ones_like(p1.data)
+        before = p2.data.copy()
+        optimizer.step()
+        assert np.allclose(p2.data, before)
+        assert not np.allclose(p1.data, 5.0)
+
+    def test_adam_bias_correction_first_step(self):
+        param = quadratic_param()
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # With bias correction, the first step is ~lr in magnitude.
+        assert abs(5.0 - param.data[0]) == pytest.approx(0.1, rel=1e-6)
+
+    def test_training_a_real_model(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = nn.Sequential(nn.Linear(2, 8, rng=rng), nn.Tanh(),
+                              nn.Linear(8, 2, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = losses.cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        accuracy = (model(Tensor(x)).numpy().argmax(1) == y).mean()
+        assert accuracy > 0.95
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = quadratic_param()
+        p.grad = np.array([0.3])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.3)
+        assert p.grad[0] == pytest.approx(0.3)
+
+    def test_clips_to_threshold(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        optimizer = SGD([quadratic_param()], lr=1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            schedule.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        optimizer = SGD([quadratic_param()], lr=1.0)
+        schedule = ExponentialLR(optimizer, gamma=0.5)
+        schedule.step()
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.25)
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = SGD([quadratic_param()], lr=1.0)
+        schedule = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_step_lr_validation(self):
+        optimizer = SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)

@@ -1,0 +1,300 @@
+"""Tests for mechanisms, the moments accountant, DP-SGD, PATE, DP-FedAvg."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import LogisticRegressionClassifier
+from repro.data import ArrayDataset
+from repro.federated import FederatedClient
+from repro.privacy import (
+    DPFedAvg,
+    DPSGDTrainer,
+    GaussianMechanism,
+    LaplaceMechanism,
+    MomentsAccountant,
+    PATE,
+    clip_by_l2,
+    gaussian_sigma_for,
+    noisy_max_vote,
+    rdp_subsampled_gaussian,
+    rdp_to_epsilon,
+    strong_composition_epsilon,
+)
+from repro.synth import make_digits, shard_partition
+
+
+class TestMechanisms:
+    def test_clip_preserves_small_vectors(self):
+        v = np.array([0.3, 0.4])
+        out = clip_by_l2(v, 1.0)
+        assert np.allclose(out, v)
+
+    def test_clip_scales_large_vectors(self):
+        v = np.array([3.0, 4.0])
+        out = clip_by_l2(v, 1.0)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+        assert np.allclose(out / np.linalg.norm(out), v / 5.0)
+
+    def test_clip_validation(self):
+        with pytest.raises(ValueError):
+            clip_by_l2(np.ones(2), 0.0)
+
+    def test_laplace_scale(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mech.scale == pytest.approx(4.0)
+
+    def test_laplace_noise_statistics(self):
+        mech = LaplaceMechanism(epsilon=1.0, rng=np.random.default_rng(0))
+        noise = mech.randomize(np.zeros(20000))
+        # Laplace(b=1): std = sqrt(2).
+        assert abs(noise.std() - math.sqrt(2)) < 0.05
+
+    def test_gaussian_noise_statistics(self):
+        mech = GaussianMechanism(sigma=2.0, sensitivity=3.0,
+                                 rng=np.random.default_rng(0))
+        noise = mech.randomize(np.zeros(20000))
+        assert abs(noise.std() - 6.0) < 0.1
+
+    def test_gaussian_calibration(self):
+        mech = GaussianMechanism.calibrated(epsilon=1.0, delta=1e-5)
+        assert mech.sigma == pytest.approx(gaussian_sigma_for(1.0, 1e-5))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(sigma=-1.0)
+        with pytest.raises(ValueError):
+            gaussian_sigma_for(1.0, 1.5)
+
+
+class TestAccountant:
+    def test_rdp_no_sampling_matches_gaussian(self):
+        # q=1: eps(alpha) = alpha / (2 sigma^2).
+        assert rdp_subsampled_gaussian(1.0, 2.0, 8) == pytest.approx(1.0)
+
+    def test_rdp_zero_sampling_is_free(self):
+        assert rdp_subsampled_gaussian(0.0, 1.0, 4) == 0.0
+
+    def test_rdp_subsampling_amplifies_privacy(self):
+        full = rdp_subsampled_gaussian(1.0, 1.0, 8)
+        sampled = rdp_subsampled_gaussian(0.01, 1.0, 8)
+        assert sampled < full / 10
+
+    def test_rdp_monotone_in_noise(self):
+        low = rdp_subsampled_gaussian(0.1, 0.5, 8)
+        high = rdp_subsampled_gaussian(0.1, 4.0, 8)
+        assert high < low
+
+    def test_rdp_validation(self):
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(1.5, 1.0, 4)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.1, 0.0, 4)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.1, 1.0, 1)
+
+    def test_conversion_picks_best_order(self):
+        eps, order = rdp_to_epsilon([10.0, 0.5], orders=[2, 32], delta=1e-5)
+        assert order == 32
+        assert eps == pytest.approx(0.5 + math.log(1e5) / 31)
+
+    def test_accountant_composes_linearly(self):
+        a = MomentsAccountant().step(0.01, 1.0, num_steps=100)
+        b = MomentsAccountant().step(0.01, 1.0, num_steps=200)
+        assert b.spent(1e-5) > a.spent(1e-5)
+        assert a.steps == 100
+
+    def test_known_regime_ballpark(self):
+        """q=0.01, sigma=1, T=1000 -> epsilon of order 1-3 at delta=1e-5.
+
+        (Abadi et al. report ~1.25 with a finer-grained accountant; integer
+        orders and the standard conversion land slightly higher.)
+        """
+        accountant = MomentsAccountant().step(0.01, 1.0, num_steps=1000)
+        eps = accountant.spent(1e-5)
+        assert 1.0 < eps < 4.0
+
+    def test_tighter_than_strong_composition(self):
+        accountant = MomentsAccountant().step(0.01, 1.0, num_steps=1000)
+        moments_eps = accountant.spent(1e-5)
+        per_step_eps = 0.01 * math.sqrt(2 * math.log(1.25 / 1e-6))
+        strong = strong_composition_epsilon(per_step_eps, 1e-6, 1000, 1e-6)
+        assert moments_eps < strong / 2
+
+    def test_strong_composition_validation(self):
+        with pytest.raises(ValueError):
+            strong_composition_epsilon(0.0, 1e-6, 10, 1e-6)
+
+
+class TestDPSGD:
+    def make_model(self):
+        rng = np.random.default_rng(0)
+        return nn.Sequential(nn.Linear(64, 16, rng=rng), nn.ReLU(),
+                             nn.Linear(16, 10, rng=rng))
+
+    def test_learns_with_modest_noise(self):
+        x, y = make_digits(400, seed=1)
+        trainer = DPSGDTrainer(self.make_model(), lr=0.5, clip_norm=3.0,
+                               noise_multiplier=0.5, lot_size=100, seed=0)
+        before = trainer.evaluate(x, y)
+        trainer.train(x, y, num_steps=40)
+        after = trainer.evaluate(x, y)
+        assert after > before + 0.2
+
+    def test_epsilon_grows_with_steps(self):
+        x, y = make_digits(200, seed=1)
+        trainer = DPSGDTrainer(self.make_model(), lot_size=50, seed=0)
+        trainer.step(x, y)
+        first = trainer.accountant.spent(1e-5)
+        trainer.step(x, y)
+        assert trainer.accountant.spent(1e-5) > first
+
+    def test_budget_stops_training(self):
+        x, y = make_digits(200, seed=1)
+        trainer = DPSGDTrainer(self.make_model(), noise_multiplier=0.5,
+                               lot_size=100, seed=0)
+        spent = trainer.train(x, y, num_steps=1000, delta=1e-5,
+                              epsilon_budget=2.0)
+        assert trainer.accountant.steps < 1000
+        assert spent >= 2.0
+
+    def test_noise_zero_matches_clipped_sgd_direction(self):
+        x, y = make_digits(100, seed=1)
+        trainer = DPSGDTrainer(self.make_model(), lr=0.1, clip_norm=1e9,
+                               noise_multiplier=1e-9, lot_size=100, seed=0)
+        params_before = [p.data.copy() for p in trainer.model.parameters()]
+        trainer.step(x, y)
+        moved = any(
+            not np.allclose(p.data, before)
+            for p, before in zip(trainer.model.parameters(), params_before)
+        )
+        assert moved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPSGDTrainer(self.make_model(), clip_norm=0.0)
+        with pytest.raises(ValueError):
+            DPSGDTrainer(self.make_model(), noise_multiplier=-1.0)
+
+
+class TestPATE:
+    def make_pate(self, teachers=8, eps=5.0):
+        return PATE(
+            lambda: LogisticRegressionClassifier(),
+            lambda: LogisticRegressionClassifier(),
+            num_teachers=teachers, epsilon_per_query=eps, seed=0,
+        )
+
+    def test_teachers_and_student_train(self):
+        x, y = make_digits(800, seed=1)
+        public, _ = make_digits(300, seed=2)
+        test_x, test_y = make_digits(200, seed=3)
+        pate = self.make_pate()
+        pate.fit_teachers(x, y)
+        assert len(pate.teachers_) == 8
+        pate.fit_student(public)
+        assert (pate.predict(test_x) == test_y).mean() > 0.6
+
+    def test_vote_histogram_rows_sum_to_teachers(self):
+        x, y = make_digits(400, seed=1)
+        pate = self.make_pate(teachers=5)
+        pate.fit_teachers(x, y)
+        votes = pate.vote_histogram(x[:10])
+        assert np.allclose(votes.sum(axis=1), 5)
+
+    def test_budget_accounting(self):
+        x, y = make_digits(400, seed=1)
+        pate = self.make_pate(teachers=4, eps=0.5)
+        pate.fit_teachers(x, y)
+        pate.aggregate_labels(x[:20])
+        assert pate.epsilon_spent() == pytest.approx(10.0)
+
+    def test_noisy_max_is_exact_without_much_noise(self):
+        votes = np.array([0.0, 100.0, 0.0])
+        rng = np.random.default_rng(0)
+        winners = {noisy_max_vote(votes, 10.0, rng) for _ in range(20)}
+        assert winners == {1}
+
+    def test_noisy_max_randomizes_with_tiny_budget(self):
+        votes = np.array([0.0, 1.0, 0.0])
+        rng = np.random.default_rng(0)
+        winners = {noisy_max_vote(votes, 0.01, rng) for _ in range(50)}
+        assert len(winners) > 1
+
+    def test_teacher_agreement_high_on_easy_data(self):
+        x, y = make_digits(800, seed=1)
+        pate = self.make_pate()
+        pate.fit_teachers(x, y)
+        assert pate.teacher_agreement(x[:100]) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PATE(None, None, num_teachers=1)
+        with pytest.raises(RuntimeError):
+            self.make_pate().vote_histogram(np.zeros((2, 64)))
+
+
+class TestDPFedAvg:
+    def make_clients(self):
+        x, y = make_digits(400, seed=1)
+        parts = shard_partition(y, 8, shards_per_client=4,
+                                rng=np.random.default_rng(0))
+
+        def model_fn():
+            rng = np.random.default_rng(42)
+            return nn.Sequential(nn.Linear(64, 12, rng=rng), nn.ReLU(),
+                                 nn.Linear(12, 10, rng=rng))
+
+        clients = [
+            FederatedClient(i, ArrayDataset(x[p], y[p]), model_fn, seed=i)
+            for i, p in enumerate(parts)
+        ]
+        return clients, model_fn
+
+    def test_learns_with_low_noise(self):
+        clients, model_fn = self.make_clients()
+        eval_data = make_digits(150, seed=2)
+        dp = DPFedAvg(clients, model_fn, sample_prob=1.0, clip_norm=8.0,
+                      noise_multiplier=0.05, local_epochs=3, lr=0.2, seed=0)
+        history = dp.run(15, eval_data, delta=1e-3)
+        assert history.final_accuracy() > 0.25
+
+    def test_epsilon_accumulates(self):
+        clients, model_fn = self.make_clients()
+        dp = DPFedAvg(clients, model_fn, sample_prob=0.5,
+                      noise_multiplier=1.0, local_epochs=1, seed=0)
+        dp.round()
+        first = dp.epsilon_spent(delta=1e-3)
+        dp.round()
+        assert dp.epsilon_spent(delta=1e-3) > first
+
+    def test_more_noise_less_epsilon(self):
+        clients, model_fn = self.make_clients()
+        quiet = DPFedAvg(clients, model_fn, sample_prob=0.5,
+                         noise_multiplier=2.0, seed=0)
+        loud = DPFedAvg(clients, model_fn, sample_prob=0.5,
+                        noise_multiplier=0.5, seed=0)
+        quiet.round()
+        loud.round()
+        assert quiet.epsilon_spent(1e-3) < loud.epsilon_spent(1e-3)
+
+    def test_budget_stops_run(self):
+        clients, model_fn = self.make_clients()
+        eval_data = make_digits(50, seed=2)
+        dp = DPFedAvg(clients, model_fn, sample_prob=0.5,
+                      noise_multiplier=0.5, local_epochs=1, seed=0)
+        history = dp.run(100, eval_data, delta=1e-3, epsilon_budget=3.0)
+        assert len(history.ledger.rounds) < 100
+
+    def test_validation(self):
+        clients, model_fn = self.make_clients()
+        with pytest.raises(ValueError):
+            DPFedAvg([], model_fn)
+        with pytest.raises(ValueError):
+            DPFedAvg(clients, model_fn, sample_prob=0.0)
+        with pytest.raises(ValueError):
+            DPFedAvg(clients, model_fn, clip_norm=-1.0)

@@ -1,0 +1,272 @@
+"""Property-based tests (Hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.tensor as T
+from repro.compression import (
+    HuffmanCode,
+    circulant_matrix,
+    circulant_matvec,
+    huffman_decode,
+    huffman_encode,
+    kmeans_quantize,
+    uniform_quantize,
+)
+from repro.data import accuracy, confusion_matrix, f1_score, pad_sequences
+from repro.privacy import MomentsAccountant, clip_by_l2, rdp_subsampled_gaussian
+from repro.synth import iid_partition, shard_partition
+from repro.tensor import Tensor, unbroadcast
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+
+
+def small_arrays(max_side=5):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1,
+                               max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAutogradProperties:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(data))
+
+    @given(small_arrays(), st.floats(min_value=-5, max_value=5,
+                                     allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_multiplication_scales_gradient(self, data, scale):
+        t = Tensor(data, requires_grad=True)
+        (t * scale).sum().backward()
+        assert np.allclose(t.grad, np.full_like(data, scale))
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_addition_commutes(self, data):
+        a = Tensor(data)
+        b = Tensor(data * 0.5 + 1.0)
+        assert np.allclose((a + b).numpy(), (b + a).numpy())
+
+    @given(hnp.arrays(np.float64, (4, 6), elements=finite_floats),
+           st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_shift_invariance(self, data, shift):
+        a = T.softmax(Tensor(data), axis=-1).numpy()
+        b = T.softmax(Tensor(data + shift), axis=-1).numpy()
+        assert np.allclose(a, b, atol=1e-9)
+
+    @given(hnp.arrays(np.float64, (3, 7), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, data):
+        out = T.softmax(Tensor(data), axis=-1).numpy()
+        assert (out >= 0).all()
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @given(hnp.arrays(np.float64, (5, 3), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_bounded_and_odd(self, data):
+        out = T.tanh(Tensor(data)).numpy()
+        assert (np.abs(out) <= 1.0).all()
+        neg = T.tanh(Tensor(-data)).numpy()
+        assert np.allclose(out, -neg)
+
+    @given(hnp.arrays(np.float64, (6, 4), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_preserves_total(self, grad):
+        reduced = unbroadcast(grad, (4,))
+        assert np.allclose(reduced.sum(), grad.sum())
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_concat_then_slice_roundtrip(self, n1, n2):
+        rng = np.random.default_rng(n1 * 10 + n2)
+        a = Tensor(rng.normal(size=(3, n1)))
+        b = Tensor(rng.normal(size=(3, n2)))
+        joined = T.concat([a, b], axis=1)
+        assert np.allclose(joined.numpy()[:, :n1], a.numpy())
+        assert np.allclose(joined.numpy()[:, n1:], b.numpy())
+
+
+class TestHuffmanProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, symbols):
+        packed, nbits, code = huffman_encode(symbols)
+        assert huffman_decode(packed, nbits, code) == symbols
+
+    @given(st.lists(st.integers(min_value=-10, max_value=10), min_size=2,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_code_lengths_bounded_by_alphabet(self, symbols):
+        code = HuffmanCode.from_symbols(symbols)
+        alphabet = len(set(symbols))
+        assert all(len(bits) <= max(alphabet - 1, 1)
+                   for bits in code.codes.values())
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_fixed_width(self, symbols):
+        _, nbits, _ = huffman_encode(symbols)
+        alphabet = len(set(symbols))
+        fixed_width = max(int(np.ceil(np.log2(max(alphabet, 2)))), 1)
+        assert nbits <= len(symbols) * max(fixed_width, 1) + alphabet
+
+
+class TestPrivacyProperties:
+    @given(hnp.arrays(np.float64, (8,), elements=finite_floats),
+           st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_norm_bound(self, vector, bound):
+        clipped = clip_by_l2(vector, bound)
+        assert np.linalg.norm(clipped) <= bound * (1 + 1e-9)
+
+    @given(hnp.arrays(np.float64, (8,), elements=finite_floats),
+           st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_preserves_direction(self, vector, bound):
+        clipped = clip_by_l2(vector, bound)
+        # clipped = c * vector with 0 < c <= 1.
+        dot = float(np.dot(clipped, vector))
+        assert dot >= -1e-12
+
+    @given(st.floats(min_value=0.001, max_value=0.5),
+           st.floats(min_value=0.5, max_value=8.0),
+           st.integers(min_value=2, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_rdp_nonnegative(self, q, sigma, order):
+        assert rdp_subsampled_gaussian(q, sigma, order) >= 0.0
+
+    @given(st.floats(min_value=0.001, max_value=0.3),
+           st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_epsilon_monotone_in_steps(self, q, sigma):
+        a = MomentsAccountant().step(q, sigma, num_steps=10)
+        b = MomentsAccountant().step(q, sigma, num_steps=30)
+        assert b.spent(1e-5) >= a.spent(1e-5) - 1e-12
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_epsilon_monotone_in_sampling(self, q):
+        small = MomentsAccountant().step(q / 2, 1.0, 50).spent(1e-5)
+        large = MomentsAccountant().step(q, 1.0, 50).spent(1e-5)
+        assert large >= small - 1e-12
+
+
+class TestQuantizationProperties:
+    @given(hnp.arrays(np.float64, (6, 6), elements=finite_floats),
+           st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_quantization_error_bounded(self, weights, bits):
+        q = uniform_quantize(weights, bits=bits)
+        max_abs = np.abs(weights).max()
+        if max_abs == 0:
+            assert np.allclose(q.dequantize(), 0.0)
+            return
+        step = max_abs / (2 ** (bits - 1) - 1)
+        assert np.abs(q.dequantize() - weights).max() <= step / 2 + 1e-9
+
+    @given(hnp.arrays(np.float64, (5, 5), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_kmeans_codebook_zero_reserved(self, weights):
+        q = kmeans_quantize(weights, bits=3, skip_zeros=True,
+                            rng=np.random.default_rng(0))
+        assert q.codebook[0] == 0.0
+        restored = q.dequantize()
+        assert np.allclose(restored[weights == 0.0], 0.0)
+
+
+class TestCirculantProperties:
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_matvec_matches_dense(self, n, batch):
+        rng = np.random.default_rng(n * 7 + batch)
+        row = rng.normal(size=n)
+        x = rng.normal(size=(batch, n))
+        out = circulant_matvec(Tensor(x), Tensor(row)).numpy()
+        assert np.allclose(out, x @ circulant_matrix(row).T, atol=1e-9)
+
+
+class TestDataProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=1,
+                    max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_pad_sequences_mask_matches_lengths(self, lengths):
+        rng = np.random.default_rng(0)
+        sequences = [rng.normal(size=(length, 3)) for length in lengths]
+        padded, mask = pad_sequences(sequences)
+        assert padded.shape == (len(lengths), max(lengths), 3)
+        assert mask.sum(axis=1).astype(int).tolist() == lengths
+        # Mask is a prefix: no gaps.
+        for row, length in zip(mask, lengths):
+            assert np.allclose(row[:length], 1.0)
+            assert np.allclose(row[length:], 0.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounds_and_perfection(self, labels):
+        labels = np.asarray(labels)
+        assert accuracy(labels, labels) == 1.0
+        shuffled = np.roll(labels, 1)
+        assert 0.0 <= accuracy(labels, shuffled) <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=60),
+           st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_total(self, truth, pred):
+        n = min(len(truth), len(pred))
+        truth, pred = np.asarray(truth[:n]), np.asarray(pred[:n])
+        matrix = confusion_matrix(truth, pred, num_classes=4)
+        assert matrix.sum() == n
+        assert (matrix >= 0).all()
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=4,
+                    max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_f1_bounded(self, labels):
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 3, size=len(labels))
+        for average in ("macro", "weighted", "micro"):
+            value = f1_score(labels, predictions, average=average,
+                             num_classes=3)
+            assert 0.0 <= value <= 1.0
+
+
+class TestPartitionProperties:
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_iid_partition_is_a_partition(self, n, clients):
+        parts = iid_partition(n, clients, rng=np.random.default_rng(0))
+        union = np.concatenate([p for p in parts if len(p)]) if any(
+            len(p) for p in parts) else np.array([], dtype=int)
+        assert sorted(union.tolist()) == list(range(n))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_shard_partition_is_a_partition(self, clients, shards):
+        labels = np.repeat(np.arange(5), 30)
+        parts = shard_partition(labels, clients, shards_per_client=shards,
+                                rng=np.random.default_rng(1))
+        union = np.concatenate(parts)
+        assert sorted(union.tolist()) == list(range(len(labels)))

@@ -1,0 +1,188 @@
+"""Tests for the synthetic data substrates."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    GLYPHS,
+    SPECIAL_KEYS,
+    TypingDynamicsGenerator,
+    dirichlet_partition,
+    iid_partition,
+    make_digit_images,
+    make_digits,
+    shard_partition,
+)
+
+
+class TestTypingGenerator:
+    @pytest.fixture(scope="class")
+    def cohort(self):
+        return TypingDynamicsGenerator(seed=5).generate_cohort(4, 10)
+
+    def test_cohort_structure(self, cohort):
+        assert len(cohort.profiles) == 4
+        assert len(cohort.all_sessions()) == 40
+        assert cohort.user_ids() == [0, 1, 2, 3]
+
+    def test_session_views_shapes(self, cohort):
+        session = cohort.sessions[0][0]
+        assert session.alphanumeric.shape[1] == 4
+        assert session.special.shape[1] == len(SPECIAL_KEYS)
+        assert session.accelerometer.shape[1] == 3
+
+    def test_session_values_physical(self, cohort):
+        for session in cohort.sessions[1]:
+            assert (session.alphanumeric[:, 0] > 0).all()  # durations
+            assert (session.alphanumeric[1:, 1] > 0).all()  # gaps
+            assert session.alphanumeric[0, 1] == 0.0  # first gap is zero
+            # Accelerometer magnitude is dominated by gravity (9.81).
+            norms = np.linalg.norm(session.accelerometer, axis=1)
+            assert norms.mean() > 3.0
+
+    def test_special_rows_are_one_hot(self, cohort):
+        for session in cohort.sessions[2]:
+            assert np.allclose(session.special.sum(axis=1), 1.0)
+
+    def test_mood_label_matches_score(self, cohort):
+        for session in cohort.all_sessions():
+            assert session.mood_label == int(session.mood_score > 0.5)
+
+    def test_reproducibility(self):
+        a = TypingDynamicsGenerator(seed=9).generate_cohort(2, 5)
+        b = TypingDynamicsGenerator(seed=9).generate_cohort(2, 5)
+        sa = a.sessions[1][3]
+        sb = b.sessions[1][3]
+        assert np.allclose(sa.alphanumeric, sb.alphanumeric)
+        assert np.allclose(sa.accelerometer, sb.accelerometer)
+        assert sa.mood_score == sb.mood_score
+
+    def test_different_seeds_differ(self):
+        a = TypingDynamicsGenerator(seed=1).generate_cohort(1, 2)
+        b = TypingDynamicsGenerator(seed=2).generate_cohort(1, 2)
+        assert not np.allclose(a.sessions[0][0].alphanumeric[:3],
+                               b.sessions[0][0].alphanumeric[:3])
+
+    def test_per_user_session_counts(self):
+        cohort = TypingDynamicsGenerator(seed=3).generate_cohort(3, [5, 10, 2])
+        assert [len(cohort.sessions[i]) for i in range(3)] == [5, 10, 2]
+
+    def test_session_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TypingDynamicsGenerator(seed=3).generate_cohort(3, [5, 10])
+
+    def test_mood_trajectory_bounded_and_episodic(self):
+        generator = TypingDynamicsGenerator(seed=5)
+        scores = generator.sample_mood_trajectory(0, 500)
+        assert (scores >= 0).all() and (scores <= 1).all()
+        # Episodic: both labels occur over a long horizon for most users.
+        labels = [
+            (generator.sample_mood_trajectory(uid, 500) > 0.5).mean()
+            for uid in range(10)
+        ]
+        assert any(0.05 < frac < 0.95 for frac in labels)
+
+    def test_mood_effect_slows_typing_for_retarded_users(self):
+        generator = TypingDynamicsGenerator(seed=5, mood_effect=1.0)
+        profile = generator.sample_profile(0)
+        profile.mood_presentation = 1.0  # force retardation
+        rng = np.random.default_rng(0)
+        calm = [generator.sample_session(profile, 0.2, rng) for _ in range(30)]
+        rng = np.random.default_rng(0)
+        down = [generator.sample_session(profile, 0.95, rng) for _ in range(30)]
+        calm_gap = np.mean([s.alphanumeric[1:, 1].mean() for s in calm])
+        down_gap = np.mean([s.alphanumeric[1:, 1].mean() for s in down])
+        assert down_gap > calm_gap * 1.1
+
+    def test_profiles_differ_between_users(self):
+        generator = TypingDynamicsGenerator(seed=5)
+        p0 = generator.sample_profile(0)
+        p1 = generator.sample_profile(1)
+        assert p0.burst_period != p1.burst_period
+        assert not np.allclose(p0.special_rates, p1.special_rates)
+
+    def test_describe_profile(self):
+        profile = TypingDynamicsGenerator(seed=5).sample_profile(0)
+        description = profile.describe()
+        assert description["user"] == 0
+        assert description["duration_ms"] > 0
+
+
+class TestDigits:
+    def test_shapes(self):
+        x, y = make_digits(50, seed=0)
+        assert x.shape == (50, 64)
+        assert y.shape == (50,)
+        images, labels = make_digit_images(20, seed=0)
+        assert images.shape == (20, 1, 8, 8)
+
+    def test_labels_in_range(self):
+        _, y = make_digits(200, seed=1, num_classes=4)
+        assert set(np.unique(y)) <= {0, 1, 2, 3}
+
+    def test_reproducible(self):
+        x1, y1 = make_digits(30, seed=7)
+        x2, y2 = make_digits(30, seed=7)
+        assert np.allclose(x1, x2) and (y1 == y2).all()
+
+    def test_glyphs_are_distinct(self):
+        flat = GLYPHS.reshape(10, -1)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.allclose(flat[i], flat[j])
+
+    def test_learnable_by_simple_model(self):
+        from repro.baselines import LogisticRegressionClassifier
+
+        x, y = make_digits(600, seed=0)
+        xt, yt = make_digits(200, seed=1)
+        model = LogisticRegressionClassifier().fit(x, y)
+        assert (model.predict(xt) == yt).mean() > 0.9
+
+    def test_num_classes_validation(self):
+        with pytest.raises(ValueError):
+            make_digits(10, num_classes=11)
+
+
+class TestPartitions:
+    def test_iid_partition_covers_everything(self):
+        parts = iid_partition(100, 7, rng=np.random.default_rng(0))
+        assert len(parts) == 7
+        union = np.concatenate(parts)
+        assert sorted(union.tolist()) == list(range(100))
+
+    def test_iid_partition_validation(self):
+        with pytest.raises(ValueError):
+            iid_partition(10, 0)
+
+    def test_dirichlet_partition_covers_everything(self):
+        labels = np.repeat(np.arange(5), 40)
+        parts = dirichlet_partition(labels, 8, alpha=0.5,
+                                    rng=np.random.default_rng(0))
+        union = np.concatenate(parts)
+        assert sorted(union.tolist()) == list(range(200))
+
+    def test_dirichlet_small_alpha_is_skewed(self):
+        labels = np.repeat(np.arange(10), 100)
+        skewed = dirichlet_partition(labels, 10, alpha=0.05,
+                                     rng=np.random.default_rng(0))
+        uniform = dirichlet_partition(labels, 10, alpha=100.0,
+                                      rng=np.random.default_rng(0))
+
+        def mean_classes(parts):
+            return np.mean([len(np.unique(labels[p])) for p in parts if len(p)])
+
+        assert mean_classes(skewed) < mean_classes(uniform)
+
+    def test_dirichlet_alpha_validation(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition([0, 1], 2, alpha=0.0)
+
+    def test_shard_partition_limits_classes_per_client(self):
+        labels = np.repeat(np.arange(10), 50)
+        parts = shard_partition(labels, 25, shards_per_client=2,
+                                rng=np.random.default_rng(0))
+        union = np.concatenate(parts)
+        assert sorted(union.tolist()) == list(range(500))
+        classes_per_client = [len(np.unique(labels[p])) for p in parts]
+        assert max(classes_per_client) <= 4  # 2 shards span at most ~2-3 labels

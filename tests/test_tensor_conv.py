@@ -1,0 +1,128 @@
+"""Tests for the convolution/pooling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    col2im,
+    conv2d,
+    im2col,
+    avg_pool2d,
+    max_pool2d,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestIm2col:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, stride=1, padding=0)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 16, 3 * 9)
+
+    def test_matches_naive_patch_extraction(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols, oh, ow = im2col(x, 2, 2, stride=2, padding=0)
+        assert (oh, ow) == (2, 2)
+        first_patch = x[0, 0, :2, :2].reshape(-1)
+        assert np.allclose(cols[0], first_patch)
+
+    def test_col2im_adjointness(self, rng):
+        """col2im must be the exact adjoint of im2col."""
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols, _, _ = im2col(x, 3, 3, stride=2, padding=1)
+        g = rng.normal(size=cols.shape)
+        back = col2im(g, x.shape, 3, 3, stride=2, padding=1)
+        # <im2col(x), g> == <x, col2im(g)>
+        assert np.isclose((cols * g).sum(), (x * back).sum())
+
+
+class TestConv2d:
+    def test_matches_naive_convolution(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).numpy()
+        # Naive cross-correlation.
+        expected = np.zeros((1, 3, 3, 3))
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i:i + 3, j:j + 3]
+                    expected[0, f, i, j] = (patch * w[f]).sum()
+        assert np.allclose(out, expected)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.3, requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        check_gradients(
+            lambda: conv2d(x, w, b, stride=1, padding=1).sum(), [x, w, b]
+        )
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 1, 3, 3)))
+        out = conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_depthwise_groups(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 1, 3, 3)) * 0.3, requires_grad=True)
+        out = conv2d(x, w, padding=1, groups=3)
+        assert out.shape == (2, 3, 6, 6)
+        check_gradients(lambda: conv2d(x, w, padding=1, groups=3).sum(), [x, w])
+
+    def test_depthwise_each_channel_independent(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(2, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1, groups=2).numpy()
+        # Channel 0 of the output only depends on channel 0 of the input.
+        x2 = x.copy()
+        x2[0, 1] = 0.0
+        out2 = conv2d(Tensor(x2), Tensor(w), padding=1, groups=2).numpy()
+        assert np.allclose(out[0, 0], out2[0, 0])
+        assert not np.allclose(out[0, 1], out2[0, 1])
+
+    def test_group_validation(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w, groups=2)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), kernel=2).numpy()
+        assert np.allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_gradient_flows_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, kernel=2).sum().backward()
+        grad = x.grad[0, 0]
+        assert grad[1, 1] == 1.0 and grad[0, 0] == 0.0
+
+    def test_max_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        check_gradients(lambda: max_pool2d(x, 2).sum(), [x])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), kernel=2).numpy()
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda: avg_pool2d(x, 2).sum(), [x])

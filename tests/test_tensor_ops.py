@@ -1,0 +1,292 @@
+"""Gradient and semantics tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as T
+from repro.tensor import Tensor, check_gradients, no_grad, unbroadcast
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTensorBasics:
+    def test_construction_and_shape(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert len(t) == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_severs_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_copy_is_deep(self):
+        a = Tensor([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_backward_requires_scalar_without_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_backward_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(3))
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * 3 + a * 4).sum()
+        out.backward()
+        assert a.grad[0] == pytest.approx(7.0)
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.tensor import is_grad_enabled
+
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self, rng):
+        g = rng.normal(size=(3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_sum_prepended_axis(self, rng):
+        g = rng.normal(size=(5, 3))
+        out = unbroadcast(g, (3,))
+        assert np.allclose(out, g.sum(axis=0))
+
+    def test_sum_kept_axis(self, rng):
+        g = rng.normal(size=(5, 3))
+        out = unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        assert np.allclose(out, g.sum(axis=0, keepdims=True))
+
+
+class TestArithmeticGradients:
+    @pytest.mark.parametrize("op", [
+        lambda a, b: a + b,
+        lambda a, b: a - b,
+        lambda a, b: a * b,
+        lambda a, b: a / (b + 3.0),
+        lambda a, b: -a + b,
+        lambda a, b: a ** 3,
+        lambda a, b: 2.0 - a,
+        lambda a, b: 5.0 / (b + 3.0),
+    ])
+    def test_binary_ops(self, rng, op):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: op(a, b).sum(), [a, b])
+
+    def test_broadcast_add_row(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_mul_column(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_matmul_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_right(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_left(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.reshape(2, 6) * 2).sum(), [a])
+
+    def test_transpose_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        other = Tensor(rng.normal(size=(3, 2)))
+        check_gradients(lambda: (a.T @ other).sum(), [a])
+
+    def test_transpose_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        check_gradients(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_getitem_slice(self, rng):
+        a = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda: (a[1:4, :2] * 3).sum(), [a])
+
+    def test_getitem_fancy_repeated_indices(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = a[np.array([0, 0, 2])].sum()
+        out.backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (1, True), (-1, False),
+    ])
+    def test_sum(self, rng, axis, keepdims):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.sum(axis=axis, keepdims=keepdims) ** 2).sum(), [a])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean(self, rng, axis):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.mean(axis=axis) ** 2).sum(), [a])
+
+    def test_mean_multi_axis(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.mean(axis=(1, 2)) ** 2).sum(), [a])
+
+    def test_max_gradient_unique(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_gradient_ties_split(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.min(axis=0).sum(), [a])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("fn", [
+        T.exp, T.tanh, T.sigmoid, T.softplus,
+        lambda x: T.log(x + 5.0), lambda x: T.sqrt(x + 5.0),
+        T.relu, lambda x: T.leaky_relu(x, 0.1), T.absolute,
+        lambda x: T.clip(x, -0.5, 0.5),
+    ])
+    def test_unary_gradients(self, rng, fn):
+        a = Tensor(rng.normal(size=(3, 4)) + 0.05, requires_grad=True)
+        check_gradients(lambda: fn(a).sum(), [a])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-1000.0, 1000.0]))
+        out = T.sigmoid(a).numpy()
+        assert np.allclose(out, [0.0, 1.0])
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("axis", [0, 1, -1])
+    def test_softmax_sums_to_one(self, rng, axis):
+        a = Tensor(rng.normal(size=(3, 4)))
+        out = T.softmax(a, axis=axis).numpy()
+        assert np.allclose(out.sum(axis=axis), 1.0)
+
+    def test_softmax_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (T.softmax(a, axis=-1) ** 2).sum(), [a])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(
+            T.log_softmax(a).numpy(), np.log(T.softmax(a).numpy())
+        )
+
+    def test_log_softmax_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: (T.log_softmax(a) * 0.3).sum(), [a])
+
+    def test_logsumexp_stability(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]))
+        out = T.logsumexp(a, axis=1).numpy()
+        assert np.allclose(out, 1000.0 + np.log(2.0))
+
+    def test_logsumexp_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: T.logsumexp(a, axis=1).sum(), [a])
+
+    def test_maximum_minimum_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: T.maximum(a, b).sum(), [a, b])
+        check_gradients(lambda: T.minimum(a, b).sum(), [a, b])
+
+    def test_where_selects_and_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = T.where(cond, a, b)
+        assert np.allclose(out.numpy(), [1.0, 20.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestStructuralOps:
+    def test_concat_values_and_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        out = T.concat([a, b], axis=1)
+        assert out.shape == (2, 8)
+        check_gradients(lambda: (T.concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_values_and_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = T.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        check_gradients(lambda: (T.stack([a, b], axis=1) * 2).sum(), [a, b])
+
+    def test_dropout_inference_passthrough(self, rng):
+        a = Tensor(rng.normal(size=(4, 4)))
+        out = T.dropout(a, 0.5, rng, training=False)
+        assert out is a
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(np.ones((200, 200)))
+        out = T.dropout(a, 0.3, rng, training=True).numpy()
+        assert abs(out.mean() - 1.0) < 0.02
+        # Surviving entries are rescaled by 1/keep.
+        surviving = out[out != 0]
+        assert np.allclose(surviving, 1.0 / 0.7)
+
+    def test_dropout_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            T.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_one_hot(self):
+        out = T.one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(out, np.eye(3)[[0, 2, 1]])
