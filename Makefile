@@ -1,0 +1,18 @@
+# Developer entry points.  `make check` is the gate a PR must pass:
+# the full tier-1 suite plus a smoke run of the kernel microbenchmarks
+# (which also regenerates BENCH_kernels.json).
+
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke bench
+
+check: test bench-smoke
+
+test:
+	python -m pytest -x -q
+
+bench-smoke:
+	python -m pytest benchmarks/test_perf_microbench.py -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -s

@@ -20,7 +20,9 @@ scratch on numpy/scipy:
 * :mod:`repro.synth` — synthetic substitutes for the private BiAffect data
   and the image benchmarks;
 * :mod:`repro.baselines` — from-scratch LR, SVM, CART, random forest, and
-  XGBoost-style boosting.
+  XGBoost-style boosting;
+* :mod:`repro.profiler` — scoped timers plus per-op call/byte counters
+  hooked into the autograd engine and ``nn.Module`` forward passes.
 """
 
 __version__ = "1.0.0"
@@ -36,6 +38,7 @@ from . import (  # noqa: F401
     nn,
     optim,
     privacy,
+    profiler,
     synth,
     tensor,
 )
@@ -51,6 +54,7 @@ __all__ = [
     "nn",
     "optim",
     "privacy",
+    "profiler",
     "synth",
     "tensor",
     "__version__",

@@ -25,10 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from .. import profiler
 from ..nn import losses
 from ..optim import Adam
 from ..privacy.mechanisms import gaussian_sigma_for
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, get_default_dtype, no_grad
 
 __all__ = ["split_sequential", "PrivateLocalTransformer", "NoisyTrainer",
            "PrivateInferencePipeline"]
@@ -76,17 +77,23 @@ class PrivateLocalTransformer:
         self.rng = np.random.default_rng(seed)
 
     def extract(self, features):
-        """Frozen forward pass producing the clipped raw representation."""
-        with no_grad():
+        """Frozen forward pass producing the clipped raw representation.
+
+        Runs at whatever float dtype ``features`` carries (float32 inputs
+        stay float32 end to end, halving device-side memory traffic).
+        """
+        with no_grad(), profiler.timer("private_inference.extract"):
             representation = self.local_net(Tensor(np.asarray(features))).numpy()
         norms = np.linalg.norm(representation, axis=1, keepdims=True)
         scale = np.minimum(1.0, self.bound / np.maximum(norms, 1e-12))
-        return representation * scale
+        return (representation * scale).astype(representation.dtype, copy=False)
 
     def perturb(self, representation, rng=None):
         """Apply nullification then Gaussian noise (the transmitted data)."""
         rng = rng or self.rng
-        representation = np.asarray(representation, dtype=np.float64)
+        representation = np.asarray(representation)
+        if representation.dtype.kind != "f":
+            representation = representation.astype(get_default_dtype())
         if self.nullification_rate > 0:
             keep = rng.random(representation.shape) >= self.nullification_rate
             representation = representation * keep
@@ -187,8 +194,13 @@ class PrivateInferencePipeline:
         """Classify through the full private path (perturbation included)."""
         transmitted = self.transformer.perturb(
             self.transformer.extract(features), rng=rng)
+        profiler.record_bytes(
+            "private_inference.uplink",
+            self.transformer.transmitted_bytes(transmitted.shape[1])
+            * transmitted.shape[0],
+        )
         self.cloud_net.eval()
-        with no_grad():
+        with no_grad(), profiler.timer("private_inference.cloud"):
             logits = self.cloud_net(Tensor(transmitted))
         return logits.numpy().argmax(axis=1)
 

@@ -1,8 +1,15 @@
-"""Weight initialization schemes (Glorot, He, orthogonal, ...)."""
+"""Weight initialization schemes (Glorot, He, orthogonal, ...).
+
+Every initializer returns an array in the configurable default dtype
+(see :func:`repro.tensor.set_default_dtype`), so models built under a
+float32 context come out float32 end to end.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..tensor.tensor import get_default_dtype
 
 __all__ = [
     "glorot_uniform",
@@ -32,27 +39,27 @@ def glorot_uniform(shape, rng):
     """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype())
 
 
 def glorot_normal(shape, rng):
     """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype())
 
 
 def he_uniform(shape, rng):
     """He uniform, appropriate before ReLU nonlinearities."""
     fan_in, _ = _fan(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype())
 
 
 def he_normal(shape, rng):
     """He normal, appropriate before ReLU nonlinearities."""
     fan_in, _ = _fan(shape)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(get_default_dtype())
 
 
 def orthogonal(shape, rng, gain=1.0):
@@ -66,14 +73,14 @@ def orthogonal(shape, rng, gain=1.0):
     q = q * np.sign(np.diag(r))
     if rows < cols:
         q = q.T
-    return gain * q[:rows, :cols].reshape(shape)
+    return (gain * q[:rows, :cols].reshape(shape)).astype(get_default_dtype())
 
 
 def zeros(shape, rng=None):
     """All-zeros initialization (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def uniform(shape, rng, low=-0.05, high=0.05):
     """Plain uniform initialization."""
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype())

@@ -7,15 +7,27 @@ from collections import OrderedDict
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor.tensor import get_default_dtype
 
 __all__ = ["Parameter", "Module", "Sequential"]
 
+# Optional forward-pass hook installed by :mod:`repro.profiler`.  When set,
+# every ``Module.__call__`` is routed through it so per-module wall-clock
+# time can be attributed; the ``is None`` check keeps the normal path free.
+_forward_hook = None
+
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as a trainable model weight."""
+    """A :class:`Tensor` that is registered as a trainable model weight.
+
+    Parameters always adopt the configurable default dtype, so building a
+    model under ``with default_dtype(np.float32):`` yields float32 weights.
+    """
 
     def __init__(self, data, name=None):
-        super().__init__(data, requires_grad=True, name=name)
+        super().__init__(
+            data, requires_grad=True, name=name, dtype=get_default_dtype()
+        )
 
 
 class Module:
@@ -70,14 +82,14 @@ class Module:
 
     def register_buffer(self, name, value):
         """Store a non-trainable array that is part of the state dict."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=get_default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name, value):
         """Update a registered buffer (keeps the attribute in sync)."""
         if name not in self._buffers:
             raise KeyError("no buffer named '{}'".format(name))
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -116,7 +128,7 @@ class Module:
             if name not in state:
                 missing.append(name)
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     "shape mismatch for '{}': checkpoint {} vs model {}".format(
@@ -145,6 +157,8 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if _forward_hook is not None:
+            return _forward_hook(self, args, kwargs)
         return self.forward(*args, **kwargs)
 
     def __repr__(self):

@@ -12,6 +12,13 @@ from Eq. (1) of the paper:
 Variable-length sequences are handled with a (batch, time) mask: masked
 steps carry the previous hidden state forward unchanged, so padding never
 contaminates the final representation.
+
+Performance: the input-side gate projections ``W x_k`` do not depend on
+the recurrence, so the sequence layers hoist them out of the timestep
+loop — one ``(batch*time, input) @ W`` matmul up front instead of ``time``
+small matmuls — and only the hidden-side ``U h_{k-1}`` products remain
+sequential.  The original per-step path is kept as ``forward_stepwise``
+for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ def _mask_step(h_new, h_prev, mask_t):
     """Blend new and previous hidden states according to a 0/1 mask column."""
     if mask_t is None:
         return h_new
-    m = Tensor(mask_t[:, None])
+    m = Tensor(mask_t[:, None], dtype=h_new.dtype)
     return h_new * m + h_prev * (1.0 - m)
 
 
@@ -60,9 +67,36 @@ class GRUCell(Module):
         candidate = T.tanh(x @ self.w_h.T + (r * h) @ self.u_h.T + self.b_h)
         return z * h + (1.0 - z) * candidate
 
-    def initial_state(self, batch_size):
+    def input_projection(self, x):
+        """Input-side gate pre-activations for a whole (rows, input) block.
+
+        Returns a (rows, 3*hidden) tensor stacked [reset; update; candidate];
+        sequence layers compute this once for all timesteps at once.
+        """
+        return T.concat(
+            [
+                x @ self.w_r.T + self.b_r,
+                x @ self.w_z.T + self.b_z,
+                x @ self.w_h.T + self.b_h,
+            ],
+            axis=1,
+        )
+
+    def step(self, projected, h):
+        """Advance one step from precomputed input projections.
+
+        ``projected`` is one timestep's slice of :meth:`input_projection`;
+        only the hidden-side matmuls run here.
+        """
+        n = self.hidden_size
+        r = T.sigmoid(projected[:, 0:n] + h @ self.u_r.T)
+        z = T.sigmoid(projected[:, n:2 * n] + h @ self.u_z.T)
+        candidate = T.tanh(projected[:, 2 * n:3 * n] + (r * h) @ self.u_h.T)
+        return z * h + (1.0 - z) * candidate
+
+    def initial_state(self, batch_size, dtype=None):
         """Zero hidden state for a batch."""
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(np.zeros((batch_size, self.hidden_size)), dtype=dtype)
 
 
 class GRU(Module):
@@ -85,6 +119,39 @@ class GRU(Module):
         return_sequence:
             If True return (outputs, last_state) where outputs has shape
             (batch, time, hidden); otherwise return only the last state.
+
+        The input-side projections for every timestep are computed in one
+        batched matmul before the loop (see the module docstring).
+        """
+        x = T.as_tensor(x)
+        batch, steps, features = x.shape
+        h = (
+            initial_state
+            if initial_state is not None
+            else self.cell.initial_state(batch, dtype=x.dtype)
+        )
+        projected = self.cell.input_projection(
+            x.reshape(batch * steps, features)
+        ).reshape(batch, steps, 3 * self.hidden_size)
+        mask = None if mask is None else np.asarray(mask)
+        outputs = []
+        for t in range(steps):
+            h_new = self.cell.step(projected[:, t, :], h)
+            mask_t = None if mask is None else mask[:, t]
+            h = _mask_step(h_new, h, mask_t)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return T.stack(outputs, axis=1), h
+        return h
+
+    def forward_stepwise(self, x, mask=None, initial_state=None,
+                         return_sequence=False):
+        """Seed implementation: full cell forward at every timestep.
+
+        Numerically matches :meth:`forward` (same operations, input-side
+        matmuls merely batched differently); kept for equivalence tests
+        and as the microbenchmark baseline.
         """
         batch, steps, _ = x.shape
         h = initial_state if initial_state is not None else self.cell.initial_state(batch)
@@ -116,8 +183,16 @@ class LSTMCell(Module):
 
     def forward(self, x, state):
         """Advance one step; ``state`` is an (h, c) pair of tensors."""
+        return self.step(x @ self.w.T + self.b, state)
+
+    def input_projection(self, x):
+        """Input-side pre-activations for a (rows, input) block: (rows, 4H)."""
+        return x @ self.w.T + self.b
+
+    def step(self, projected, state):
+        """Advance one step from precomputed input projections."""
         h, c = state
-        gates = x @ self.w.T + h @ self.u.T + self.b
+        gates = projected + h @ self.u.T
         n = self.hidden_size
         i = T.sigmoid(gates[:, 0:n])
         f = T.sigmoid(gates[:, n:2 * n])
@@ -127,9 +202,9 @@ class LSTMCell(Module):
         h_new = o * T.tanh(c_new)
         return h_new, c_new
 
-    def initial_state(self, batch_size):
+    def initial_state(self, batch_size, dtype=None):
         zeros = np.zeros((batch_size, self.hidden_size))
-        return Tensor(zeros.copy()), Tensor(zeros.copy())
+        return Tensor(zeros.copy(), dtype=dtype), Tensor(zeros.copy(), dtype=dtype)
 
 
 class LSTM(Module):
@@ -141,11 +216,39 @@ class LSTM(Module):
         self.hidden_size = hidden_size
 
     def forward(self, x, mask=None, return_sequence=False):
+        x = T.as_tensor(x)
+        batch, steps, features = x.shape
+        h, c = self.cell.initial_state(batch, dtype=x.dtype)
+        projected = self.cell.input_projection(
+            x.reshape(batch * steps, features)
+        ).reshape(batch, steps, 4 * self.hidden_size)
+        mask = None if mask is None else np.asarray(mask)
+        outputs = []
+        for t in range(steps):
+            h_new, c_new = self.cell.step(projected[:, t, :], (h, c))
+            mask_t = None if mask is None else mask[:, t]
+            h = _mask_step(h_new, h, mask_t)
+            c = _mask_step(c_new, c, mask_t)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return T.stack(outputs, axis=1), h
+        return h
+
+    def forward_stepwise(self, x, mask=None, return_sequence=False):
+        """Seed implementation kept for equivalence tests and benchmarks."""
         batch, steps, _ = x.shape
         h, c = self.cell.initial_state(batch)
         outputs = []
         for t in range(steps):
-            h_new, c_new = self.cell(x[:, t, :], (h, c))
+            gates = x[:, t, :] @ self.cell.w.T + h @ self.cell.u.T + self.cell.b
+            n = self.cell.hidden_size
+            i = T.sigmoid(gates[:, 0:n])
+            f = T.sigmoid(gates[:, n:2 * n])
+            g = T.tanh(gates[:, 2 * n:3 * n])
+            o = T.sigmoid(gates[:, 3 * n:4 * n])
+            c_new = f * c + i * g
+            h_new = o * T.tanh(c_new)
             mask_t = None if mask is None else np.asarray(mask)[:, t]
             h = _mask_step(h_new, h, mask_t)
             c = _mask_step(c_new, c, mask_t)
@@ -160,7 +263,9 @@ class Bidirectional(Module):
     """Run a recurrent layer forward and backward; concatenate final states.
 
     The paper notes DeepMood's fused dimension doubles under bidirectional
-    GRUs (d = 2 m d_h); this wrapper provides that variant.
+    GRUs (d = 2 m d_h); this wrapper provides that variant.  Both wrapped
+    layers use the hoisted-projection sequence path, and the per-sequence
+    prefix reversal is a single vectorised ``take_along_axis`` gather.
     """
 
     def __init__(self, forward_layer, backward_layer):
@@ -174,16 +279,19 @@ class Bidirectional(Module):
         data = x.numpy()
         batch, steps, _ = data.shape
         if mask is None:
-            reversed_x = Tensor(data[:, ::-1, :].copy())
+            reversed_x = Tensor(data[:, ::-1, :].copy(), dtype=data.dtype)
             reversed_mask = None
         else:
             mask = np.asarray(mask)
-            reversed_data = np.zeros_like(data)
-            reversed_mask = np.zeros_like(mask)
-            for i in range(batch):
-                length = int(mask[i].sum())
-                reversed_data[i, :length] = data[i, :length][::-1]
-                reversed_mask[i, :length] = 1.0
-            reversed_x = Tensor(reversed_data)
+            lengths = mask.sum(axis=1).astype(int)[:, None]
+            positions = np.arange(steps)[None, :]
+            valid = positions < lengths
+            # Within the valid prefix read index length-1-t, else read t
+            # (the tail is zeroed below, matching the seed behaviour).
+            gather = np.where(valid, lengths - 1 - positions, positions)
+            reversed_data = np.take_along_axis(data, gather[:, :, None], axis=1)
+            reversed_data = reversed_data * valid[:, :, None].astype(data.dtype)
+            reversed_mask = valid.astype(mask.dtype)
+            reversed_x = Tensor(reversed_data, dtype=data.dtype)
         behind = self.backward_layer(reversed_x, mask=reversed_mask)
         return T.concat([ahead, behind], axis=-1)

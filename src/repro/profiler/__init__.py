@@ -1,0 +1,40 @@
+"""Operation-level profiling: scoped timers, per-op call/byte counters
+hooked into the autograd engine, and per-module forward timings.
+
+Quick use::
+
+    import repro.profiler as profiler
+
+    with profiler.profile():
+        model(batch)
+    print(profiler.report())
+
+or label arbitrary regions::
+
+    with profiler.timer("im2col"):
+        cols, oh, ow = im2col(x, 3, 3)
+"""
+
+from .core import (
+    disable,
+    enable,
+    get_stats,
+    is_enabled,
+    profile,
+    record_bytes,
+    report,
+    reset,
+    timer,
+)
+
+__all__ = [
+    "disable",
+    "enable",
+    "get_stats",
+    "is_enabled",
+    "profile",
+    "record_bytes",
+    "report",
+    "reset",
+    "timer",
+]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, get_default_dtype
 
 __all__ = [
     "exp",
@@ -104,7 +104,7 @@ def sigmoid(x):
 def relu(x):
     """Rectified linear unit."""
     x = as_tensor(x)
-    mask = (x.data > 0).astype(np.float64)
+    mask = (x.data > 0).astype(x.data.dtype)
 
     def backward(grad, grads):
         Tensor._send(grads, x, grad * mask)
@@ -115,7 +115,7 @@ def relu(x):
 def leaky_relu(x, negative_slope=0.01):
     """Leaky ReLU with configurable negative slope."""
     x = as_tensor(x)
-    scale = np.where(x.data > 0, 1.0, negative_slope)
+    scale = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype)
 
     def backward(grad, grads):
         Tensor._send(grads, x, grad * scale)
@@ -137,7 +137,7 @@ def softplus(x):
 def clip(x, low, high):
     """Clamp values to [low, high]; gradient is zero outside the range."""
     x = as_tensor(x)
-    mask = ((x.data >= low) & (x.data <= high)).astype(np.float64)
+    mask = ((x.data >= low) & (x.data <= high)).astype(x.data.dtype)
 
     def backward(grad, grads):
         Tensor._send(grads, x, grad * mask)
@@ -148,8 +148,9 @@ def clip(x, low, high):
 def maximum(a, b):
     """Elementwise maximum; ties split the gradient equally."""
     a, b = as_tensor(a), as_tensor(b)
-    a_wins = (a.data > b.data).astype(np.float64)
-    tie = (a.data == b.data).astype(np.float64) * 0.5
+    dtype = np.result_type(a.data, b.data)
+    a_wins = (a.data > b.data).astype(dtype)
+    tie = (a.data == b.data).astype(dtype) * dtype.type(0.5)
 
     def backward(grad, grads):
         Tensor._send(grads, a, grad * (a_wins + tie))
@@ -274,7 +275,7 @@ def dropout(x, rate, rng, training=True):
     if not 0.0 <= rate < 1.0:
         raise ValueError("dropout rate must be in [0, 1); got {}".format(rate))
     keep = 1.0 - rate
-    mask = (rng.random(x.data.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.data.shape) < keep).astype(x.data.dtype) / x.data.dtype.type(keep)
 
     def backward(grad, grads):
         Tensor._send(grads, x, grad * mask)
@@ -282,9 +283,9 @@ def dropout(x, rate, rng, training=True):
     return Tensor._make(x.data * mask, (x,), backward)
 
 
-def one_hot(labels, num_classes):
+def one_hot(labels, num_classes, dtype=None):
     """Encode integer labels as a (n, num_classes) float array (no grad)."""
     labels = np.asarray(labels, dtype=int)
-    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out = np.zeros((labels.size, num_classes), dtype=dtype or get_default_dtype())
     out[np.arange(labels.size), labels.reshape(-1)] = 1.0
     return out.reshape(labels.shape + (num_classes,))

@@ -19,13 +19,78 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "as_tensor",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+]
 
 
 class _GradMode:
     """Process-wide switch for gradient recording (mirrors torch.no_grad)."""
 
     enabled = True
+
+
+class _DtypeMode:
+    """Process-wide default floating dtype for new tensors and parameters."""
+
+    default = np.dtype(np.float64)
+
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+# Optional profiling hook installed by :mod:`repro.profiler`.  When set, it
+# is called as ``_profile_hook(backward, data)`` for every op that goes
+# through :meth:`Tensor._make`; the single ``is None`` check keeps the
+# unprofiled hot path free.
+_profile_hook = None
+
+
+def get_default_dtype():
+    """Return the dtype new floating tensors are created with."""
+    return _DtypeMode.default
+
+
+def set_default_dtype(dtype):
+    """Set the process-wide default floating dtype (float32 or float64).
+
+    Running inference or compression benchmarks at float32 halves the
+    memory bandwidth of every kernel; training code typically stays at
+    float64 so finite-difference gradient checks remain tight.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(
+            "default dtype must be float32 or float64; got {}".format(dtype)
+        )
+    _DtypeMode.default = dtype
+    return dtype
+
+
+class default_dtype:
+    """Context manager that temporarily switches the default dtype::
+
+        with default_dtype(np.float32):
+            model = nn.Sequential(...)   # float32 parameters
+    """
+
+    def __init__(self, dtype):
+        self._dtype = np.dtype(dtype)
+
+    def __enter__(self):
+        self._previous = _DtypeMode.default
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _DtypeMode.default = self._previous
+        return False
 
 
 class no_grad:
@@ -72,11 +137,16 @@ def unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
-def as_tensor(value, dtype=np.float64):
-    """Coerce ``value`` (scalar, array, or Tensor) into a :class:`Tensor`."""
+def as_tensor(value, dtype=None):
+    """Coerce ``value`` (scalar, array, or Tensor) into a :class:`Tensor`.
+
+    Existing tensors pass through untouched.  Arrays that are already
+    float32/float64 keep their dtype; everything else is cast to ``dtype``
+    (the configurable default when None).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=dtype))
+    return Tensor(value, dtype=dtype)
 
 
 class Tensor:
@@ -93,10 +163,17 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data, requires_grad=False, name=None):
+    def __init__(self, data, requires_grad=False, name=None, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=np.dtype(dtype))
+        else:
+            array = np.asarray(data)
+            if array.dtype in _FLOAT_DTYPES:
+                self.data = array
+            else:
+                self.data = array.astype(_DtypeMode.default)
         self.requires_grad = bool(requires_grad)
         self.grad = None
         self._backward = None
@@ -159,6 +236,8 @@ class Tensor:
         ``backward`` receives the upstream gradient (an ndarray) and must
         call ``parent.accumulate_grad`` for each parent that requires grad.
         """
+        if _profile_hook is not None:
+            _profile_hook(backward, data)
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -170,7 +249,7 @@ class Tensor:
         """Add ``grad`` into this tensor's ``.grad`` buffer."""
         if not self.requires_grad:
             return
-        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -193,7 +272,7 @@ class Tensor:
                 )
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     "gradient shape {} does not match tensor shape {}".format(
@@ -236,7 +315,9 @@ class Tensor:
         """Route ``grad`` to ``parent`` inside a backward closure."""
         if not parent.requires_grad and parent._backward is None:
             return
-        grad = unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape)
+        grad = unbroadcast(
+            np.asarray(grad, dtype=parent.data.dtype), parent.data.shape
+        )
         key = id(parent)
         if key in grads:
             grads[key] = grads[key] + grad
@@ -246,8 +327,20 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic operators (each returns a new graph node)
     # ------------------------------------------------------------------
+    def _operand(self, other):
+        """Coerce ``other`` into a Tensor for a binary op.
+
+        Python scalars adopt this tensor's dtype (mirroring NumPy's weak
+        scalar promotion) so ``x * 0.5`` never upcasts a float32 tensor.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (int, float)):
+            return Tensor(other, dtype=self.data.dtype)
+        return Tensor(other)
+
     def __add__(self, other):
-        other = as_tensor(other)
+        other = self._operand(other)
 
         def backward(grad, grads):
             Tensor._send(grads, self, grad)
@@ -264,7 +357,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other):
-        other = as_tensor(other)
+        other = self._operand(other)
 
         def backward(grad, grads):
             Tensor._send(grads, self, grad)
@@ -273,10 +366,10 @@ class Tensor:
         return Tensor._make(self.data - other.data, (self, other), backward)
 
     def __rsub__(self, other):
-        return as_tensor(other).__sub__(self)
+        return self._operand(other).__sub__(self)
 
     def __mul__(self, other):
-        other = as_tensor(other)
+        other = self._operand(other)
 
         def backward(grad, grads):
             Tensor._send(grads, self, grad * other.data)
@@ -287,7 +380,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        other = as_tensor(other)
+        other = self._operand(other)
 
         def backward(grad, grads):
             Tensor._send(grads, self, grad / other.data)
@@ -296,7 +389,7 @@ class Tensor:
         return Tensor._make(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other):
-        return as_tensor(other).__truediv__(self)
+        return self._operand(other).__truediv__(self)
 
     def __pow__(self, exponent):
         if not np.isscalar(exponent):
@@ -310,7 +403,7 @@ class Tensor:
         return Tensor._make(np.power(self.data, exponent), (self,), backward)
 
     def __matmul__(self, other):
-        other = as_tensor(other)
+        other = self._operand(other)
 
         def backward(grad, grads):
             a, b = self.data, other.data
@@ -334,21 +427,30 @@ class Tensor:
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable; return plain Tensors of 0/1)
     # ------------------------------------------------------------------
+    def _compare(self, other, op):
+        """Shared comparison helper: 0/1 result in the operands' dtype.
+
+        Scalars adopt this tensor's dtype so ``x > 0`` never upcasts a
+        float32 tensor; array operands follow numpy promotion.
+        """
+        other_data = other.data if isinstance(other, Tensor) else np.asarray(other)
+        if other_data.ndim == 0:
+            dtype = self.data.dtype
+        else:
+            dtype = np.result_type(self.data, other_data)
+        return Tensor(op(self.data, other_data).astype(dtype), dtype=dtype)
+
     def __gt__(self, other):
-        other = as_tensor(other)
-        return Tensor((self.data > other.data).astype(np.float64))
+        return self._compare(other, np.greater)
 
     def __lt__(self, other):
-        other = as_tensor(other)
-        return Tensor((self.data < other.data).astype(np.float64))
+        return self._compare(other, np.less)
 
     def __ge__(self, other):
-        other = as_tensor(other)
-        return Tensor((self.data >= other.data).astype(np.float64))
+        return self._compare(other, np.greater_equal)
 
     def __le__(self, other):
-        other = as_tensor(other)
-        return Tensor((self.data <= other.data).astype(np.float64))
+        return self._compare(other, np.less_equal)
 
     # ------------------------------------------------------------------
     # Shape ops
@@ -424,7 +526,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
                 o = np.expand_dims(o, axis)
-            mask = (self.data == o).astype(np.float64)
+            mask = (self.data == o).astype(self.data.dtype)
             mask = mask / mask.sum(axis=axis, keepdims=True)
             Tensor._send(grads, self, mask * g)
 

@@ -1,0 +1,92 @@
+"""Finite-difference gradient checks for conv2d and the pooling ops.
+
+These cover the conv/pool backward passes across strides, paddings,
+groups, and rectangular kernels — the geometries the strided im2col and
+bincount col2im kernels must get right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    check_gradients,
+    conv2d,
+    max_pool2d,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestConv2dGradcheck:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (3, 2)])
+    def test_stride_padding_combinations(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.3, requires_grad=True)
+        b = Tensor(rng.normal(size=3) * 0.1, requires_grad=True)
+        check_gradients(
+            lambda: conv2d(x, w, b, stride=stride, padding=padding).sum(),
+            [x, w, b],
+        )
+
+    def test_rectangular_kernel(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 2)) * 0.3, requires_grad=True)
+        check_gradients(
+            lambda: conv2d(x, w, stride=2, padding=1).sum(), [x, w]
+        )
+
+    def test_depthwise_groups(self, rng):
+        x = Tensor(rng.normal(size=(2, 4, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 1, 3, 3)) * 0.3, requires_grad=True)
+        check_gradients(
+            lambda: conv2d(x, w, padding=1, groups=4).sum(), [x, w]
+        )
+
+    def test_grouped_nondepthwise(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(6, 2, 3, 3)) * 0.3, requires_grad=True)
+        check_gradients(
+            lambda: conv2d(x, w, padding=1, groups=2).sum(), [x, w]
+        )
+
+    def test_nonuniform_upstream_gradient(self, rng):
+        """Weighted loss exercises non-constant upstream gradients."""
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.3, requires_grad=True)
+        weights = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        check_gradients(
+            lambda: (conv2d(x, w, padding=1) * weights).sum(), [x, w]
+        )
+
+
+class TestMaxPoolGradcheck:
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (2, 1), (3, 2)])
+    def test_kernel_stride_combinations(self, rng, kernel, stride):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        check_gradients(
+            lambda: max_pool2d(x, kernel=kernel, stride=stride).sum(), [x]
+        )
+
+    def test_weighted_loss(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        weights = Tensor(rng.normal(size=(1, 2, 2, 2)))
+        check_gradients(lambda: (max_pool2d(x, 2) * weights).sum(), [x])
+
+
+class TestAvgPoolGradcheck:
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (2, 1), (3, 3)])
+    def test_kernel_stride_combinations(self, rng, kernel, stride):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        check_gradients(
+            lambda: avg_pool2d(x, kernel=kernel, stride=stride).sum(), [x]
+        )
+
+    def test_weighted_loss(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 6, 6)), requires_grad=True)
+        weights = Tensor(rng.normal(size=(1, 3, 3, 3)))
+        check_gradients(lambda: (avg_pool2d(x, 2) * weights).sum(), [x])

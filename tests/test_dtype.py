@@ -1,0 +1,152 @@
+"""Tests for the configurable default dtype and dtype-preserving ops."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as T
+from repro import nn
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    conv2d,
+    default_dtype,
+    get_default_dtype,
+    max_pool2d,
+    set_default_dtype,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_default_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDefaultDtypeConfig:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_set_and_get(self):
+        set_default_dtype(np.float32)
+        assert get_default_dtype() == np.float32
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_context_manager_restores(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1, 2, 3]).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_lists_and_ints_cast_to_default(self):
+        with default_dtype(np.float32):
+            assert Tensor([1, 2]).dtype == np.float32
+            assert as_tensor(5).dtype == np.float32
+            assert Tensor(np.arange(3)).dtype == np.float32
+
+    def test_float_arrays_keep_their_dtype(self):
+        x32 = np.ones(3, dtype=np.float32)
+        x64 = np.ones(3, dtype=np.float64)
+        assert Tensor(x32).dtype == np.float32
+        assert Tensor(x64).dtype == np.float64
+        with default_dtype(np.float32):
+            assert Tensor(x64).dtype == np.float64
+
+    def test_explicit_dtype_wins(self):
+        assert Tensor(np.ones(3), dtype=np.float32).dtype == np.float32
+        assert as_tensor([1.0], dtype=np.float32).dtype == np.float32
+
+
+class TestComparisonDtypes:
+    def test_scalar_comparison_respects_operand_dtype(self):
+        x32 = Tensor(np.array([-1.0, 2.0], dtype=np.float32))
+        assert (x32 > 0).dtype == np.float32
+        assert (x32 < 0).dtype == np.float32
+        assert (x32 >= 0).dtype == np.float32
+        assert (x32 <= 0).dtype == np.float32
+        x64 = Tensor(np.array([-1.0, 2.0]))
+        assert (x64 > 0).dtype == np.float64
+
+    def test_comparison_values_unchanged(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal((x > 0).numpy(), [0.0, 0.0, 1.0])
+        assert np.array_equal((x <= 0).numpy(), [1.0, 1.0, 0.0])
+
+    def test_mixed_array_comparison_promotes(self):
+        a = Tensor(np.zeros(2, dtype=np.float32))
+        b = Tensor(np.ones(2, dtype=np.float64))
+        assert (a < b).dtype == np.float64
+
+
+class TestOpsPreserveFloat32:
+    def test_elementwise_ops(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)).astype(np.float32), requires_grad=True)
+        for op in [T.relu, T.sigmoid, T.tanh, T.exp, T.softplus,
+                   T.leaky_relu, T.softmax, T.log_softmax]:
+            out = op(x)
+            assert out.dtype == np.float32, op.__name__
+        assert T.clip(x, -1.0, 1.0).dtype == np.float32
+        assert T.maximum(x, x * 0.5).dtype == np.float32
+        assert T.dropout(x, 0.5, rng).dtype == np.float32
+
+    def test_backward_keeps_param_dtype(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)).astype(np.float32), requires_grad=True)
+        T.relu(x).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_conv_and_pool(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        out = conv2d(x, w, padding=1)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+        assert max_pool2d(x, 2).dtype == np.float32
+
+    def test_float32_model_end_to_end(self, rng):
+        with default_dtype(np.float32):
+            model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 4))
+            for param in model.parameters():
+                assert param.dtype == np.float32
+            x = Tensor(rng.normal(size=(5, 8)).astype(np.float32))
+            out = model(x)
+            assert out.dtype == np.float32
+            out.sum().backward()
+            for param in model.parameters():
+                assert param.grad.dtype == np.float32
+
+    def test_float32_gru_forward(self, rng):
+        with default_dtype(np.float32):
+            gru = nn.GRU(3, 4, rng=rng)
+            x = Tensor(rng.normal(size=(2, 6, 3)).astype(np.float32))
+            out = gru(x)
+            assert out.dtype == np.float32
+            seq, last = gru(x, mask=np.ones((2, 6)), return_sequence=True)
+            assert seq.dtype == np.float32 and last.dtype == np.float32
+
+    def test_float32_halves_memory(self, rng):
+        with default_dtype(np.float32):
+            small = nn.Linear(32, 32)
+        big = nn.Linear(32, 32)
+        assert small.weight.data.nbytes * 2 == big.weight.data.nbytes
+
+    def test_float32_matches_float64_within_tolerance(self, rng):
+        x64 = rng.normal(size=(2, 2, 5, 5))
+        w64 = rng.normal(size=(2, 2, 3, 3))
+        out64 = conv2d(Tensor(x64), Tensor(w64), padding=1).numpy()
+        out32 = conv2d(
+            Tensor(x64.astype(np.float32)), Tensor(w64.astype(np.float32)),
+            padding=1,
+        ).numpy()
+        np.testing.assert_allclose(out32, out64, atol=1e-4)

@@ -1,0 +1,151 @@
+"""Tests for the op-level profiler subsystem."""
+
+import numpy as np
+import pytest
+
+import repro.profiler as profiler
+import repro.tensor as T
+from repro import nn
+from repro.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def clean_profiler():
+    profiler.disable()
+    profiler.reset()
+    yield
+    profiler.disable()
+    profiler.reset()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOpCounters:
+    def test_disabled_records_nothing(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        T.relu(x + 1.0)
+        assert profiler.get_stats()["ops"] == {}
+
+    def test_counts_calls_and_bytes(self, rng):
+        x = Tensor(rng.normal(size=(4, 8)))
+        with profiler.profile():
+            T.sigmoid(x)
+            T.sigmoid(x)
+            T.tanh(x)
+        ops = profiler.get_stats()["ops"]
+        assert ops["sigmoid"]["calls"] == 2
+        assert ops["tanh"]["calls"] == 1
+        assert ops["sigmoid"]["bytes"] == 2 * 4 * 8 * 8  # two float64 outputs
+
+    def test_operator_overloads_use_dunder_names(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        with profiler.profile():
+            _ = x + x
+            _ = x @ x
+        ops = profiler.get_stats()["ops"]
+        assert ops["__add__"]["calls"] == 1
+        assert ops["__matmul__"]["calls"] == 1
+
+    def test_conv_counted(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)))
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        with profiler.profile():
+            T.conv2d(x, w)
+        assert profiler.get_stats()["ops"]["conv2d"]["calls"] == 1
+
+    def test_disable_restores_untracked_path(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        with profiler.profile():
+            T.relu(x)
+        T.relu(x)  # outside the context: must not be recorded
+        assert profiler.get_stats()["ops"]["relu"]["calls"] == 1
+
+
+class TestModuleTimers:
+    def test_forward_times_attributed_per_class(self, rng):
+        model = nn.Sequential(nn.Linear(8, 8), nn.ReLU())
+        x = Tensor(rng.normal(size=(4, 8)))
+        with profiler.profile():
+            model(x)
+            model(x)
+        modules = profiler.get_stats()["modules"]
+        assert modules["Sequential"]["calls"] == 2
+        assert modules["Linear"]["calls"] == 2
+        assert modules["ReLU"]["calls"] == 2
+        assert modules["Sequential"]["seconds"] >= modules["Linear"]["seconds"] >= 0
+
+    def test_hook_removed_after_disable(self, rng):
+        from repro.nn import module as module_mod
+
+        with profiler.profile():
+            pass
+        assert module_mod._forward_hook is None
+
+    def test_forward_result_unchanged_under_profiling(self, rng):
+        model = nn.Linear(4, 3)
+        x = Tensor(rng.normal(size=(2, 4)))
+        plain = model(x).numpy()
+        with profiler.profile():
+            profiled = model(x).numpy()
+        np.testing.assert_array_equal(plain, profiled)
+
+
+class TestScopedTimers:
+    def test_timer_accumulates(self):
+        with profiler.timer("outer"):
+            with profiler.timer("inner"):
+                pass
+        with profiler.timer("inner"):
+            pass
+        timers = profiler.get_stats()["timers"]
+        assert timers["inner"]["calls"] == 2
+        assert timers["outer"]["calls"] == 1
+        assert timers["outer"]["seconds"] >= 0
+
+    def test_record_bytes(self):
+        profiler.record_bytes("uplink", 1024)
+        profiler.record_bytes("uplink", 1024)
+        assert profiler.get_stats()["extra_bytes"]["uplink"] == 2048
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert "nothing recorded" in profiler.report()
+
+    def test_report_contains_sections(self, rng):
+        model = nn.Linear(4, 4)
+        x = Tensor(rng.normal(size=(2, 4)))
+        with profiler.profile():
+            with profiler.timer("step"):
+                model(x).sum()
+        text = profiler.report()
+        assert "ops (autograd engine)" in text
+        assert "__matmul__" in text
+        assert "Linear" in text
+        assert "step" in text
+
+    def test_reset_clears(self, rng):
+        with profiler.profile():
+            T.relu(Tensor(rng.normal(size=(2, 2))))
+        profiler.reset()
+        assert profiler.get_stats()["ops"] == {}
+
+
+class TestInferenceIntegration:
+    def test_private_pipeline_records_timers_and_bytes(self, rng):
+        from repro.inference import PrivateInferencePipeline, PrivateLocalTransformer
+
+        local = nn.Sequential(nn.Linear(8, 6), nn.ReLU())
+        cloud = nn.Sequential(nn.Linear(6, 3))
+        transformer = PrivateLocalTransformer(local, nullification_rate=0.1,
+                                              noise_sigma=0.5)
+        pipeline = PrivateInferencePipeline(transformer, cloud)
+        features = rng.normal(size=(10, 8))
+        pipeline.predict(features)
+        stats = profiler.get_stats()
+        assert stats["timers"]["private_inference.extract"]["calls"] == 1
+        assert stats["timers"]["private_inference.cloud"]["calls"] == 1
+        assert stats["extra_bytes"]["private_inference.uplink"] == 10 * 6 * 4
