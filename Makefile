@@ -1,15 +1,28 @@
 # Developer entry points.  `make check` is the gate a PR must pass:
-# the full tier-1 suite plus a smoke run of the kernel microbenchmarks
-# (which also regenerates BENCH_kernels.json).
+# the full tier-1 suite, the repo lint, a sanitized re-run of the engine
+# tests, and a smoke run of the kernel microbenchmarks (which also
+# regenerates BENCH_kernels.json).
 
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test lint sanitize-check bench-smoke bench
 
-check: test bench-smoke
+check: test lint sanitize-check bench-smoke
 
 test:
 	python -m pytest -x -q
+
+# AST lint: numeric-hygiene rules over the library and the test suite.
+lint:
+	python -m repro.analysis.lint src tests
+
+# Engine-facing tests re-run under the mutation sanitizer: any in-place
+# write to a graph-held array fails loudly instead of corrupting grads.
+sanitize-check:
+	REPRO_SANITIZE=1 python -m pytest -q \
+		tests/test_tensor_ops.py tests/test_tensor_conv.py \
+		tests/test_conv_gradcheck.py tests/test_nn_layers.py \
+		tests/test_nn_recurrent.py tests/test_nn_losses.py
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

@@ -22,12 +22,17 @@ scratch on numpy/scipy:
 * :mod:`repro.baselines` — from-scratch LR, SVM, CART, random forest, and
   XGBoost-style boosting;
 * :mod:`repro.profiler` — scoped timers plus per-op call/byte counters
-  hooked into the autograd engine and ``nn.Module`` forward passes.
+  hooked into the autograd engine and ``nn.Module`` forward passes;
+* :mod:`repro.analysis` — static analysis and sanitizers: an autograd
+  graph linter, a shape/dtype abstract interpreter, a mutation/NaN
+  sanitizer, and the repo lint CLI
+  (``python -m repro.analysis.lint src tests``).
 """
 
 __version__ = "1.0.0"
 
 from . import (  # noqa: F401
+    analysis,
     baselines,
     compression,
     core,
@@ -44,6 +49,7 @@ from . import (  # noqa: F401
 )
 
 __all__ = [
+    "analysis",
     "baselines",
     "compression",
     "core",

@@ -1,0 +1,63 @@
+"""Static analysis and runtime sanitizers for the repro substrate.
+
+Every subsystem in this repository (FedAvg/DP-SGD training loops, the
+private-inference pipeline, the Deep Compression chain) is hand-written
+numpy where a silent shape broadcast, dtype upcast, or in-place mutation
+of a graph-held array corrupts gradients without raising.  This package
+supplies the tooling that proves graph and numeric hygiene the way
+:mod:`repro.profiler` proves performance:
+
+* :mod:`repro.analysis.graph` — walk a Tensor's autograd graph and flag
+  parameters that never receive gradient, backward closures that captured
+  tensors outside their declared parents, cycles, and outputs detached
+  from a trainable model;
+* :mod:`repro.analysis.shapes` — execute any ``Module`` symbolically over
+  ``(shape, dtype)`` tuples to catch shape mismatches, unintended
+  broadcasts, and float32→float64 upcasts without running real data;
+* :mod:`repro.analysis.sanitize` — a context manager that freezes every
+  ndarray captured by the autograd tape (checksum fallback for views) so
+  in-place mutation between forward and backward raises, plus a NaN/Inf
+  tripwire hooked into the engine like the profiler's op hooks;
+* :mod:`repro.analysis.lint` — AST-based repo lint
+  (``python -m repro.analysis.lint src tests``): bans global
+  ``np.random.*``, raw float dtype literals, ``.data`` mutation outside
+  ``optim/``, and Python loops in hot-kernel files.
+"""
+
+from .graph import (
+    Finding,
+    GraphReport,
+    iter_graph,
+    lint_graph,
+    stale_grad_tensors,
+)
+from .shapes import (
+    ShapeError,
+    Spec,
+    Trace,
+    UnknownModuleError,
+    abstract_forward,
+    check_module,
+    register_rule,
+    uncovered_layers,
+)
+from .sanitize import MutationError, NumericError, sanitize
+
+__all__ = [
+    "Finding",
+    "GraphReport",
+    "iter_graph",
+    "lint_graph",
+    "stale_grad_tensors",
+    "ShapeError",
+    "Spec",
+    "Trace",
+    "UnknownModuleError",
+    "abstract_forward",
+    "check_module",
+    "register_rule",
+    "uncovered_layers",
+    "MutationError",
+    "NumericError",
+    "sanitize",
+]

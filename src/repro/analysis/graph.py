@@ -1,0 +1,261 @@
+"""Autograd-graph linter.
+
+After a forward (and optionally a backward) pass, :func:`lint_graph`
+walks the recorded graph of one or more output tensors and reports the
+failure modes that corrupt hand-written-numpy training silently:
+
+* ``unreachable-parameter`` — a trainable parameter of the model never
+  entered the graph, so backward can never update it (a dead layer, a
+  forgotten branch, or a forward run that bypassed the module);
+* ``missing-grad`` — backward ran but a reachable parameter still has no
+  gradient (gradient flow was cut, e.g. by a detach or a constant mask);
+* ``detached-output`` — the output does not require grad although the
+  model has trainable parameters: the forward ran under ``no_grad`` or
+  through ``.detach()``/``.numpy()`` round-trips, and ``backward`` would
+  silently be a no-op;
+* ``stale-capture`` — a backward closure captured a Tensor that is not
+  among its node's declared parents, so the closure would read state the
+  topological sort knows nothing about;
+* ``stale-grad-buffer`` — a non-parameter tensor attached to the module
+  tree still carries a ``.grad`` from an earlier backward (these leak
+  memory and, if the tensor re-enters a graph, corrupt accumulation;
+  :meth:`repro.nn.Module.zero_grad` clears them);
+* ``cycle`` — the "graph" is not acyclic (impossible via public ops, but
+  hand-wired ``_parents`` can do it and backward would silently skip
+  nodes).
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = [
+    "Finding",
+    "GraphReport",
+    "iter_graph",
+    "lint_graph",
+    "stale_grad_tensors",
+]
+
+
+class Finding:
+    """One linter diagnosis: a ``kind`` tag, a human message, a location."""
+
+    __slots__ = ("kind", "message", "name")
+
+    def __init__(self, kind, message, name=None):
+        self.kind = kind
+        self.message = message
+        self.name = name
+
+    def __repr__(self):
+        return "Finding({!r}, {!r})".format(self.kind, self.message)
+
+    def __str__(self):
+        prefix = "[{}]".format(self.kind)
+        if self.name:
+            prefix += " {}:".format(self.name)
+        return "{} {}".format(prefix, self.message)
+
+
+class GraphReport:
+    """Outcome of :func:`lint_graph`: findings plus graph statistics."""
+
+    def __init__(self, findings, num_nodes, num_leaves):
+        self.findings = list(findings)
+        self.num_nodes = num_nodes
+        self.num_leaves = num_leaves
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def kinds(self):
+        """Set of finding kinds present (handy for asserts in tests)."""
+        return {f.kind for f in self.findings}
+
+    def __str__(self):
+        if self.ok:
+            return "graph lint: ok ({} nodes, {} leaves)".format(
+                self.num_nodes, self.num_leaves
+            )
+        lines = ["graph lint: {} finding(s) over {} nodes".format(
+            len(self.findings), self.num_nodes)]
+        lines.extend("  " + str(f) for f in self.findings)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "GraphReport(ok={}, findings={})".format(self.ok, self.findings)
+
+
+def iter_graph(outputs):
+    """Walk the autograd graph below ``outputs``.
+
+    Returns ``(nodes, cyclic)`` where ``nodes`` is every reachable Tensor
+    (outputs included) and ``cyclic`` reports whether a back edge was seen
+    during the depth-first walk.
+    """
+    if isinstance(outputs, Tensor):
+        outputs = [outputs]
+    nodes = []
+    seen = set()
+    on_stack = set()
+    cyclic = False
+    # Iterative DFS with explicit enter/exit frames so on_stack tracks the
+    # current path (needed for back-edge detection).
+    stack = [(out, False) for out in outputs]
+    while stack:
+        node, leaving = stack.pop()
+        if leaving:
+            on_stack.discard(id(node))
+            continue
+        if id(node) in seen:
+            if id(node) in on_stack:
+                cyclic = True
+            continue
+        seen.add(id(node))
+        on_stack.add(id(node))
+        nodes.append(node)
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) in on_stack:
+                cyclic = True
+            stack.append((parent, False))
+    return nodes, cyclic
+
+
+def _closure_tensors(backward):
+    """Tensors captured by a backward closure's cells."""
+    closure = getattr(backward, "__closure__", None) or ()
+    captured = []
+    for cell in closure:
+        try:
+            value = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+        if isinstance(value, Tensor):
+            captured.append(value)
+        elif isinstance(value, (list, tuple)):
+            captured.extend(v for v in value if isinstance(v, Tensor))
+    return captured
+
+
+def stale_grad_tensors(module):
+    """Yield ``(name, tensor)`` for non-parameter tensors holding a grad.
+
+    These are the "stale buffers" :meth:`repro.nn.Module.zero_grad`
+    clears: tensors stored as module attributes (cached hidden states,
+    saved activations) that accumulated a gradient in an earlier backward
+    and would corrupt the next one if they re-enter the graph.
+    """
+    for mod_name, mod in module.named_modules():
+        for attr, value in vars(mod).items():
+            if attr.startswith("_"):
+                continue
+            if (
+                isinstance(value, Tensor)
+                and not isinstance(value, Parameter)
+                and value.grad is not None
+            ):
+                name = "{}.{}".format(mod_name, attr) if mod_name else attr
+                yield name, value
+
+
+def lint_graph(outputs, module=None):
+    """Lint the autograd graph of ``outputs`` (optionally against a model).
+
+    Parameters
+    ----------
+    outputs:
+        A Tensor or list of Tensors produced by a forward pass (typically
+        the loss).  Run after ``backward()`` to additionally check that
+        every reachable parameter received a gradient.
+    module:
+        Optional :class:`repro.nn.Module` whose parameters the graph is
+        checked against.
+
+    Returns a :class:`GraphReport`; ``report.ok`` is True when clean.
+    """
+    if isinstance(outputs, Tensor):
+        outputs = [outputs]
+    findings = []
+    nodes, cyclic = iter_graph(outputs)
+    node_ids = {id(n) for n in nodes}
+    leaves = [n for n in nodes if not n._parents]
+
+    if cyclic:
+        findings.append(Finding(
+            "cycle",
+            "autograd graph contains a cycle; backward's topological sort "
+            "would silently skip the nodes involved",
+        ))
+
+    for node in nodes:
+        if node._backward is None:
+            continue
+        parent_ids = {id(p) for p in node._parents}
+        for captured in _closure_tensors(node._backward):
+            if id(captured) not in parent_ids:
+                findings.append(Finding(
+                    "stale-capture",
+                    "backward closure of a {} node captured tensor "
+                    "{} that is not a declared parent; its gradient "
+                    "would never be routed".format(
+                        _op_name(node), _tensor_label(captured)
+                    ),
+                    name=captured.name,
+                ))
+
+    if module is not None:
+        params = list(module.named_parameters())
+        trainable = [(n, p) for n, p in params if p.requires_grad]
+        reachable = [(n, p) for n, p in trainable if id(p) in node_ids]
+        if trainable and not any(out.requires_grad for out in outputs):
+            findings.append(Finding(
+                "detached-output",
+                "output does not require grad although the module has {} "
+                "trainable parameter(s); the forward ran under no_grad or "
+                "through a detached tensor, so backward() would be a "
+                "silent no-op".format(len(trainable)),
+            ))
+        else:
+            for name, param in trainable:
+                if id(param) not in node_ids:
+                    findings.append(Finding(
+                        "unreachable-parameter",
+                        "parameter never entered the graph; its layer is "
+                        "dead for this forward pass",
+                        name=name,
+                    ))
+        backward_ran = any(p.grad is not None for _, p in reachable)
+        if backward_ran:
+            for name, param in reachable:
+                if param.grad is None:
+                    findings.append(Finding(
+                        "missing-grad",
+                        "parameter is reachable from the output but "
+                        "received no gradient in backward",
+                        name=name,
+                    ))
+        for name, _ in stale_grad_tensors(module):
+            findings.append(Finding(
+                "stale-grad-buffer",
+                "non-parameter tensor attached to the module still holds "
+                "a gradient from an earlier backward; call zero_grad()",
+                name=name,
+            ))
+
+    return GraphReport(findings, num_nodes=len(nodes), num_leaves=len(leaves))
+
+
+def _op_name(node):
+    qualname = getattr(node._backward, "__qualname__", "") or "<op>"
+    head = qualname.split(".<locals>")[0]
+    return head.rsplit(".", 1)[-1] if "." in head else head
+
+
+def _tensor_label(tensor):
+    if tensor.name:
+        return "'{}'".format(tensor.name)
+    return "of shape {}".format(tuple(tensor.shape))

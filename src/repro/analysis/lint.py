@@ -1,0 +1,289 @@
+"""AST-based repo lint for numeric-hygiene rules.
+
+Run as a module::
+
+    python -m repro.analysis.lint src tests
+
+Exit status is non-zero when any violation is found.  Four rules, each
+born from a bug class the hand-written-numpy stack cannot afford:
+
+* ``np-random`` — no global ``np.random.*``: the legacy global state
+  makes federated/DP experiments irreproducible across call orders.
+  Use ``np.random.default_rng(seed)`` and pass the generator down.
+* ``dtype-literal`` — no bare ``np.float32``/``np.float64``: hard-coded
+  float dtypes silently upcast float32 deployments (or downcast float64
+  gradcheck paths).  Route through ``repro.tensor.get_default_dtype()``
+  / ``as_float_array`` so the PR-1 dtype machinery stays in control.
+* ``param-data`` — no ``.data`` assignment/mutation outside
+  ``repro/optim/``: rebinding or writing a Parameter's array from
+  arbitrary code bypasses the autograd contract (backward closures may
+  hold the old array).  Weight surgery that genuinely needs it
+  (compression, serialization) carries an inline waiver.
+* ``hot-loop`` — no Python ``for``/``while`` in files tagged with a
+  ``repro-lint: hot-kernel`` marker: loops over ndarrays in the im2col /
+  engine hot path are exactly what PR 1 removed; deliberate reference
+  loops carry inline waivers.
+
+Suppression: end the offending line with ``# repro-lint: allow[rule]
+<reason>``.  Per-path allowlists for whole directories live in
+``PATH_ALLOW`` below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["Violation", "lint_file", "lint_paths", "main", "RULES"]
+
+RULES = ("np-random", "dtype-literal", "param-data", "hot-loop")
+
+# np.random members that are fine: the Generator API and seeding plumbing.
+NP_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+}
+
+FLOAT_DTYPE_LITERALS = {"float32", "float64"}
+
+# The marker must sit in a comment line; string literals mentioning it
+# (like the ones in this file) do not tag a file as hot.
+_HOT_MARKER_RE = re.compile(r"^\s*#.*repro-lint:\s*hot-kernel", re.MULTILINE)
+
+_ALLOW_RE = re.compile(r"repro-lint:\s*allow\[([a-z\-, ]+)\]")
+
+# Whole directories where a rule does not apply (posix substring match).
+PATH_ALLOW = {
+    # Explicit float32/float64 is the *point* of dtype tests, of the
+    # pure-numpy classical baselines (they never share arrays with the
+    # autodiff engine, so the default-dtype machinery does not apply),
+    # and of the analysis tooling that reasons *about* dtypes.
+    "dtype-literal": (
+        "tests/", "benchmarks/", "repro/baselines/", "repro/analysis/",
+    ),
+    # Optimizers are the sanctioned owner of parameter updates.
+    "param-data": ("repro/optim/",),
+}
+
+
+class Violation:
+    """One lint finding at ``path:line``."""
+
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "{}:{}: [{}] {}".format(self.path, self.line, self.rule,
+                                       self.message)
+
+    def __repr__(self):
+        return "Violation({!r}, {}, {!r})".format(self.path, self.line,
+                                                  self.rule)
+
+
+def _numpy_aliases(tree):
+    """Names bound to the numpy module ('np', 'numpy', ...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return aliases
+
+
+def _inline_allows(lines):
+    """Map line number -> set of rule names waived on that line."""
+    allows = {}
+    for number, line in enumerate(lines, start=1):
+        for match in _ALLOW_RE.finditer(line):
+            rules = {r.strip() for r in match.group(1).split(",")}
+            allows.setdefault(number, set()).update(rules)
+    return allows
+
+
+def _attribute_chain(node):
+    """Dotted-name parts of an Attribute chain, or None if not plain names."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _data_mutation_target(node):
+    """Return the base expression if ``node`` writes through ``<base>.data``."""
+    # Strip subscripts: x.data[i] = ..., x.data[i][j] = ...
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr == "data":
+        return node.value
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path, np_aliases, hot_file):
+        self.path = path
+        self.np_aliases = np_aliases
+        self.hot_file = hot_file
+        self.violations = []
+
+    def _report(self, node, rule, message):
+        self.violations.append(Violation(self.path, node.lineno, rule, message))
+
+    # -- np-random and dtype-literal ------------------------------------
+    def visit_Attribute(self, node):
+        chain = _attribute_chain(node)
+        if chain and len(chain) >= 2 and chain[0] in self.np_aliases:
+            if len(chain) >= 3 and chain[1] == "random" \
+                    and chain[2] not in NP_RANDOM_ALLOWED:
+                self._report(
+                    node, "np-random",
+                    "global np.random.{} is irreproducible across call "
+                    "orders; use np.random.default_rng(seed)".format(chain[2]),
+                )
+            elif chain[1] in FLOAT_DTYPE_LITERALS:
+                self._report(
+                    node, "dtype-literal",
+                    "bare np.{} pins the float dtype; route through "
+                    "repro.tensor.get_default_dtype() or "
+                    "as_float_array()".format(chain[1]),
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module == "numpy.random":
+            for item in node.names:
+                if item.name not in NP_RANDOM_ALLOWED:
+                    self._report(
+                        node, "np-random",
+                        "importing numpy.random.{} bypasses the Generator "
+                        "API".format(item.name),
+                    )
+        elif node.module == "numpy":
+            for item in node.names:
+                if item.name in FLOAT_DTYPE_LITERALS:
+                    self._report(
+                        node, "dtype-literal",
+                        "importing numpy.{} pins the float dtype".format(
+                            item.name),
+                    )
+        self.generic_visit(node)
+
+    # -- param-data ------------------------------------------------------
+    def _check_data_write(self, target):
+        base = _data_mutation_target(target)
+        if base is None:
+            return
+        if isinstance(base, ast.Name) and base.id == "self":
+            # Tensor/Module internals legitimately own their storage.
+            return
+        self._report(
+            target, "param-data",
+            "mutating .data outside repro/optim/ bypasses the autograd "
+            "contract; use an optimizer step or add a waiver comment",
+        )
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._check_data_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._check_data_write(node.target)
+        self.generic_visit(node)
+
+    # -- hot-loop --------------------------------------------------------
+    def _check_loop(self, node):
+        if self.hot_file:
+            self._report(
+                node, "hot-loop",
+                "Python loop in a hot-kernel file; vectorize or add a "
+                "waiver comment naming why the loop must stay",
+            )
+        self.generic_visit(node)
+
+    visit_For = _check_loop
+    visit_While = _check_loop
+    visit_AsyncFor = _check_loop
+
+
+def _path_allowed(rule, posix_path):
+    return any(part in posix_path for part in PATH_ALLOW.get(rule, ()))
+
+
+def lint_file(path, text=None):
+    """Lint one file; returns a list of :class:`Violation`."""
+    path = Path(path)
+    if text is None:
+        text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        return [Violation(str(path), error.lineno or 1, "syntax",
+                          "file does not parse: {}".format(error.msg))]
+    lines = text.splitlines()
+    allows = _inline_allows(lines)
+    visitor = _Visitor(str(path), _numpy_aliases(tree),
+                       bool(_HOT_MARKER_RE.search(text)))
+    visitor.visit(tree)
+    posix = path.as_posix()
+    kept = []
+    for violation in visitor.violations:
+        if _path_allowed(violation.rule, posix):
+            continue
+        if violation.rule in allows.get(violation.line, ()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_paths(paths):
+    """Lint every ``.py`` file under the given files/directories."""
+    violations = []
+    for root in paths:
+        root = Path(root)
+        if root.is_dir():
+            files = sorted(root.rglob("*.py"))
+        else:
+            files = [root]
+        for file in files:
+            violations.extend(lint_file(file))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repo-specific numeric-hygiene lint.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument(
+        "--rule", action="append", choices=RULES,
+        help="restrict to specific rule(s)",
+    )
+    args = parser.parse_args(argv)
+    violations = lint_paths(args.paths)
+    if args.rule:
+        violations = [v for v in violations if v.rule in args.rule]
+    for violation in violations:
+        print(violation)
+    if violations:
+        print("repro-lint: {} violation(s)".format(len(violations)))
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

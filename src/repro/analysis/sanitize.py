@@ -1,0 +1,180 @@
+"""Mutation sanitizer and NaN/Inf tripwire for the autodiff engine.
+
+The engine keeps backward closures that read the *same arrays* the
+forward pass produced (``x.data``, saved masks, im2col buffers).  Code
+that mutates any of them between forward and backward — an optimizer
+step before ``backward()``, a ``+=`` on an input batch, a buffer update
+that writes through a view — silently corrupts gradients: nothing
+raises, the loss curve just goes subtly wrong.  McMahan-style federated
+averaging and DP-SGD per-example clipping are exactly the loops where
+that class of bug is invisible.
+
+:class:`sanitize` turns the silent corruption into an immediate error.
+While active, every op that goes through :meth:`Tensor._make` gets its
+output array and every array captured by its backward closure frozen
+with ``flags.writeable = False``; in-place writes then raise
+``ValueError: assignment destination is read-only`` at the mutation
+site.  Arrays that do not own their memory (strided views — e.g.
+``reshape``/``transpose`` outputs) cannot be frozen reliably, so the
+sanitizer records an adler32 checksum instead and verifies it on exit
+(or on an explicit :meth:`sanitize.verify` call), raising
+:class:`MutationError` naming the mutated arrays.
+
+``nan_check=True`` additionally validates every op output with
+``np.isfinite`` and raises :class:`NumericError` naming the op that
+first produced a non-finite value — the same op-name recovery the
+profiler uses, so the engine needs no per-op changes.
+
+The hook composes with :mod:`repro.profiler`: a previously installed
+profiling hook keeps running inside the sanitizer's.
+
+Usage::
+
+    from repro.analysis import sanitize
+
+    with sanitize():
+        loss = model(x).sum()
+        # x.data[0] = 5.0   <- would raise here, not corrupt grads
+        loss.backward()
+
+Overhead is real (flag flips, closure inspection, checksums for views):
+run it in tests and debugging sessions, not production loops; see
+benchmarks/README.md for measured numbers.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import tensor as tensor_mod
+
+__all__ = ["sanitize", "MutationError", "NumericError"]
+
+
+class MutationError(RuntimeError):
+    """A graph-held array changed between forward and verification."""
+
+
+class NumericError(FloatingPointError):
+    """An op produced NaN/Inf while the tripwire was armed."""
+
+
+def _op_name(backward):
+    qualname = getattr(backward, "__qualname__", "") or "<unknown>"
+    head = qualname.split(".<locals>")[0]
+    return head.rsplit(".", 1)[-1] if "." in head else head
+
+
+def _checksum(array):
+    # adler32 over the raw bytes; contiguity copy only for strided views.
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)
+    return zlib.adler32(array.view(np.uint8).reshape(-1))
+
+
+class sanitize:
+    """Context manager guarding graph-held arrays against in-place mutation.
+
+    Parameters
+    ----------
+    nan_check:
+        If True, every op output is checked with ``np.isfinite`` and the
+        first offending op raises :class:`NumericError`.
+    """
+
+    def __init__(self, nan_check=False):
+        self.nan_check = nan_check
+        self._frozen = []        # arrays we set writeable=False on
+        self._checksums = []     # (array, checksum) pairs for views
+        self._seen = set()       # id()s already captured
+        self._previous_hook = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # Engine hook
+    # ------------------------------------------------------------------
+    def _hook(self, backward, data):
+        if self._previous_hook is not None:
+            self._previous_hook(backward, data)
+        if self.nan_check and isinstance(data, np.ndarray) \
+                and np.issubdtype(data.dtype, np.floating) \
+                and not np.all(np.isfinite(data)):
+            raise NumericError(
+                "op '{}' produced a non-finite value (NaN/Inf) in an output "
+                "of shape {}".format(_op_name(backward), data.shape)
+            )
+        self._capture(data)
+        for cell in getattr(backward, "__closure__", None) or ():
+            try:
+                value = cell.cell_contents
+            except ValueError:
+                continue
+            if isinstance(value, Tensor):
+                self._capture(value.data)
+            elif isinstance(value, np.ndarray):
+                self._capture(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Tensor):
+                        self._capture(item.data)
+                    elif isinstance(item, np.ndarray):
+                        self._capture(item)
+
+    def _capture(self, array):
+        if not isinstance(array, np.ndarray) or id(array) in self._seen:
+            return
+        self._seen.add(id(array))
+        if not array.flags.writeable:
+            return
+        if array.flags.owndata:
+            array.flags.writeable = False
+            self._frozen.append(array)
+        else:
+            # A view: freezing it would not protect the base array, so
+            # fall back to checksum verification.
+            self._checksums.append((array, _checksum(array)))
+
+    # ------------------------------------------------------------------
+    # Context protocol
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        if self._active:
+            raise RuntimeError("sanitize() context is not reentrant")
+        self._active = True
+        self._previous_hook = tensor_mod._profile_hook
+        tensor_mod._profile_hook = self._hook
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        tensor_mod._profile_hook = self._previous_hook
+        self._previous_hook = None
+        self._active = False
+        for array in self._frozen:
+            array.flags.writeable = True
+        self._frozen = []
+        self._seen = set()
+        try:
+            if exc_type is None:
+                self.verify()
+        finally:
+            self._checksums = []
+        return False
+
+    # ------------------------------------------------------------------
+    # Explicit verification (views)
+    # ------------------------------------------------------------------
+    def verify(self):
+        """Re-checksum every view captured so far; raise on any change."""
+        mutated = [
+            "shape {} dtype {}".format(array.shape, array.dtype)
+            for array, checksum in self._checksums
+            if _checksum(array) != checksum
+        ]
+        if mutated:
+            raise MutationError(
+                "{} graph-held view(s) mutated in place between forward and "
+                "verification: {}".format(len(mutated), "; ".join(mutated))
+            )

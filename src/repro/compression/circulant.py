@@ -13,14 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.module import Module, Parameter
-from ..tensor import Tensor, as_tensor
+from ..tensor import Tensor, as_float_array, as_tensor
 
 __all__ = ["CirculantLinear", "circulant_matvec", "circulant_matrix"]
 
 
 def circulant_matrix(first_row):
     """Materialize the full circulant matrix (testing/inspection only)."""
-    first_row = np.asarray(first_row, dtype=np.float64)
+    first_row = as_float_array(first_row)
     n = len(first_row)
     return np.stack([np.roll(first_row, shift) for shift in range(n)], axis=0)
 

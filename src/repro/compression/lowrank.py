@@ -21,7 +21,7 @@ def rank_for_energy(singular_values, energy=0.9):
     """Smallest rank capturing ``energy`` of the squared spectral mass."""
     if not 0.0 < energy <= 1.0:
         raise ValueError("energy must be in (0, 1]")
-    squared = np.asarray(singular_values, dtype=np.float64) ** 2
+    squared = np.asarray(singular_values, dtype=np.float64) ** 2  # repro-lint: allow[dtype-literal] cumulative spectral mass wants full precision
     cumulative = np.cumsum(squared) / squared.sum()
     return int(np.searchsorted(cumulative, energy) + 1)
 
@@ -39,10 +39,10 @@ def factorize_linear(layer, rank=None, energy=0.9):
     rank = int(min(max(rank, 1), len(s)))
     inner = nn.Linear(layer.in_features, rank, bias=False)
     outer = nn.Linear(rank, layer.out_features, bias=layer.bias is not None)
-    inner.weight.data = (np.sqrt(s[:rank])[:, None] * vt[:rank]).copy()
-    outer.weight.data = (u[:, :rank] * np.sqrt(s[:rank])[None, :]).copy()
+    inner.weight.data = (np.sqrt(s[:rank])[:, None] * vt[:rank]).copy()  # repro-lint: allow[param-data] installing the SVD factors
+    outer.weight.data = (u[:, :rank] * np.sqrt(s[:rank])[None, :]).copy()  # repro-lint: allow[param-data] installing the SVD factors
     if layer.bias is not None:
-        outer.bias.data = layer.bias.data.copy()
+        outer.bias.data = layer.bias.data.copy()  # repro-lint: allow[param-data] moving the bias to the outer factor
     return nn.Sequential(inner, outer), rank
 
 

@@ -64,15 +64,17 @@ class MagnitudePruner:
             )
             threshold = np.quantile(magnitudes, target_sparsity)
             for name, param in params:
-                mask = (np.abs(param.data) > threshold).astype(np.float64)
+                # Mask dtype follows the parameter: a float64 mask would
+                # silently upcast a float32 model on multiply.
+                mask = (np.abs(param.data) > threshold).astype(param.data.dtype)
                 self.masks[name] = mask
-                param.data = param.data * mask
+                param.data = param.data * mask  # repro-lint: allow[param-data] weight surgery is the point of pruning
         else:
             for name, param in params:
                 threshold = np.quantile(np.abs(param.data), target_sparsity)
-                mask = (np.abs(param.data) > threshold).astype(np.float64)
+                mask = (np.abs(param.data) > threshold).astype(param.data.dtype)
                 self.masks[name] = mask
-                param.data = param.data * mask
+                param.data = param.data * mask  # repro-lint: allow[param-data] weight surgery is the point of pruning
         return self
 
     def apply_masks(self):
@@ -81,7 +83,7 @@ class MagnitudePruner:
             return
         named = dict(self.model.named_parameters())
         for name, mask in self.masks.items():
-            named[name].data = named[name].data * mask
+            named[name].data = named[name].data * mask  # repro-lint: allow[param-data] re-applying the pruning mask
 
     def mask_gradients(self):
         """Zero gradients of pruned connections before the optimizer step."""

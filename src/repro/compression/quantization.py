@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = [
     "QuantizedTensor",
     "kmeans_quantize",
@@ -83,22 +85,24 @@ def kmeans_quantize(weights, bits=5, skip_zeros=True, rng=None):
     if not 1 <= bits <= 16:
         raise ValueError("bits must be in [1, 16]")
     rng = rng or np.random.default_rng(0)
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = as_float_array(weights)
     flat = weights.reshape(-1)
     indices = np.zeros(flat.size, dtype=np.int64)
     if skip_zeros:
         nonzero = np.flatnonzero(flat != 0.0)
         levels = max(2 ** bits - 1, 1)
         if len(nonzero) == 0:
-            codebook = np.array([0.0])
+            codebook = np.zeros(1, dtype=weights.dtype)
             return QuantizedTensor(codebook, indices.reshape(weights.shape),
                                    bits, "kmeans")
         centroids, assignment = _lloyd(flat[nonzero], min(levels, len(nonzero)), rng)
-        codebook = np.concatenate([[0.0], centroids])
+        # Codebook adopts the weight dtype so dequantize() hands a float32
+        # model back float32 weights instead of silently upcasting.
+        codebook = np.concatenate([[0.0], centroids]).astype(weights.dtype)
         indices[nonzero] = assignment + 1
     else:
         centroids, assignment = _lloyd(flat, 2 ** bits, rng)
-        codebook = centroids
+        codebook = centroids.astype(weights.dtype)
         indices = assignment
     return QuantizedTensor(codebook, indices.reshape(weights.shape), bits, "kmeans")
 
@@ -107,22 +111,22 @@ def uniform_quantize(weights, bits=8):
     """Symmetric linear quantization to 2^bits levels."""
     if not 1 <= bits <= 16:
         raise ValueError("bits must be in [1, 16]")
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = as_float_array(weights)
     max_abs = float(np.abs(weights).max())
     levels = 2 ** (bits - 1) - 1
     if max_abs == 0.0:
-        codebook = np.zeros(1)
+        codebook = np.zeros(1, dtype=weights.dtype)
         return QuantizedTensor(codebook, np.zeros(weights.shape, dtype=np.int64),
                                bits, "uniform")
     scale = max_abs / levels
     quantized = np.clip(np.round(weights / scale), -levels, levels).astype(np.int64)
-    codebook = np.arange(-levels, levels + 1) * scale
+    codebook = (np.arange(-levels, levels + 1) * scale).astype(weights.dtype)
     return QuantizedTensor(codebook, quantized + levels, bits, "uniform")
 
 
 def quantization_error(weights, quantized):
     """Root-mean-square reconstruction error."""
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = as_float_array(weights)
     return float(np.sqrt(((weights - quantized.dequantize()) ** 2).mean()))
 
 
@@ -144,6 +148,6 @@ def quantize_model(model, bits=5, scheme="kmeans", rng=None):
             q = uniform_quantize(param.data, bits=bits)
         else:
             raise ValueError("unknown scheme '{}'".format(scheme))
-        param.data = q.dequantize()
+        param.data = q.dequantize()  # repro-lint: allow[param-data] quantization replaces weights in place by design
         quantized[name] = q
     return quantized

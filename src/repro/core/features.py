@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor.tensor import get_default_dtype
+
 from ..data import MultiViewSequenceDataset
 from ..synth.typing_dynamics import SPECIAL_KEYS
 
@@ -106,7 +108,8 @@ def session_flat_features(session, max_lengths=None):
     else:
         correlations = [0.0, 0.0, 0.0]
     accel_stats = list(means) + list(stds) + correlations
-    return np.array(alnum_stats + special_stats + accel_stats, dtype=np.float64)
+    return np.array(alnum_stats + special_stats + accel_stats,
+                    dtype=get_default_dtype())
 
 
 def flat_feature_names():

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = [
     "ArrayDataset",
     "MultiViewSequenceDataset",
@@ -16,7 +18,7 @@ class ArrayDataset:
     """A dataset of fixed-size feature vectors with labels."""
 
     def __init__(self, features, labels):
-        self.features = np.asarray(features, dtype=np.float64)
+        self.features = as_float_array(features)
         self.labels = np.asarray(labels)
         if len(self.features) != len(self.labels):
             raise ValueError(

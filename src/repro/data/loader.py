@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = ["DataLoader", "pad_sequences", "collate_multiview"]
 
 
@@ -17,14 +19,15 @@ def pad_sequences(sequences, max_length=None):
     mask:
         (batch, max_length) float array with 1.0 at valid positions.
     """
-    sequences = [np.atleast_2d(np.asarray(s, dtype=np.float64)) for s in sequences]
+    sequences = [np.atleast_2d(as_float_array(s)) for s in sequences]
     if not sequences:
         raise ValueError("cannot pad an empty batch")
     lengths = [len(s) for s in sequences]
     limit = max_length or max(lengths)
     dim = sequences[0].shape[1]
-    padded = np.zeros((len(sequences), limit, dim), dtype=np.float64)
-    mask = np.zeros((len(sequences), limit), dtype=np.float64)
+    dtype = np.result_type(*[s.dtype for s in sequences])
+    padded = np.zeros((len(sequences), limit, dim), dtype=dtype)
+    mask = np.zeros((len(sequences), limit), dtype=dtype)
     for i, seq in enumerate(sequences):
         length = min(len(seq), limit)
         padded[i, :length] = seq[:length]

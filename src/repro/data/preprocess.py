@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = ["StandardScaler", "MinMaxScaler", "SequenceScaler"]
 
 
@@ -15,7 +17,7 @@ class StandardScaler:
         self.std_ = None
 
     def fit(self, features):
-        features = np.asarray(features, dtype=np.float64)
+        features = as_float_array(features)
         self.mean_ = features.mean(axis=0)
         std = features.std(axis=0)
         self.std_ = np.where(std > 0, std, 1.0)
@@ -24,7 +26,7 @@ class StandardScaler:
     def transform(self, features):
         if self.mean_ is None:
             raise RuntimeError("scaler must be fitted before transform")
-        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.std_
+        return (as_float_array(features) - self.mean_) / self.std_
 
     def fit_transform(self, features):
         return self.fit(features).transform(features)
@@ -32,7 +34,7 @@ class StandardScaler:
     def inverse_transform(self, features):
         if self.mean_ is None:
             raise RuntimeError("scaler must be fitted before inverse_transform")
-        return np.asarray(features, dtype=np.float64) * self.std_ + self.mean_
+        return as_float_array(features) * self.std_ + self.mean_
 
 
 class MinMaxScaler:
@@ -43,7 +45,7 @@ class MinMaxScaler:
         self.range_ = None
 
     def fit(self, features):
-        features = np.asarray(features, dtype=np.float64)
+        features = as_float_array(features)
         self.min_ = features.min(axis=0)
         span = features.max(axis=0) - self.min_
         self.range_ = np.where(span > 0, span, 1.0)
@@ -52,7 +54,7 @@ class MinMaxScaler:
     def transform(self, features):
         if self.min_ is None:
             raise RuntimeError("scaler must be fitted before transform")
-        return (np.asarray(features, dtype=np.float64) - self.min_) / self.range_
+        return (as_float_array(features) - self.min_) / self.range_
 
     def fit_transform(self, features):
         return self.fit(features).transform(features)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = ["SecureAggregator"]
 
 
@@ -42,12 +44,16 @@ class SecureAggregator:
         """What ``client_id`` actually uploads: update + sum of pair masks."""
         if client_id not in self.client_ids:
             raise KeyError("unknown client {}".format(client_id))
-        update = np.asarray(update, dtype=np.float64)
+        update = as_float_array(update)
         masked = update.copy()
         for other in self.client_ids:
             if other == client_id:
                 continue
-            masked += self._pair_mask(client_id, other, update.shape)
+            # Cast each mask to the update dtype: the aggregate cancels
+            # +mask/-mask exactly only when both clients add the same
+            # rounded values.
+            mask = self._pair_mask(client_id, other, update.shape)
+            masked += mask.astype(update.dtype, copy=False)
         return masked
 
     def aggregate(self, masked_updates):
@@ -64,7 +70,7 @@ class SecureAggregator:
                 "cannot recover from dropouts".format(sorted(missing)))
         total = None
         for client_id in self.client_ids:
-            upload = np.asarray(masked_updates[client_id], dtype=np.float64)
+            upload = as_float_array(masked_updates[client_id])
             total = upload.copy() if total is None else total + upload
         return total
 

@@ -32,7 +32,7 @@ def _unflatten_into(model, flat):
     offset = 0
     for param in model.parameters():
         size = param.data.size
-        param.data = flat[offset:offset + size].reshape(param.data.shape).copy()
+        param.data = flat[offset:offset + size].reshape(param.data.shape).copy()  # repro-lint: allow[param-data] installing downloaded server weights
         offset += size
 
 

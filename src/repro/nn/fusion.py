@@ -28,8 +28,12 @@ __all__ = [
 
 
 def _append_ones(x):
-    """Append a constant-1 column to model the global bias (paper's [h; 1])."""
-    ones = Tensor(np.ones((x.shape[0], 1)))
+    """Append a constant-1 column to model the global bias (paper's [h; 1]).
+
+    The ones column adopts the input dtype: a default-dtype constant would
+    silently upcast a float32 activation through the broadcast.
+    """
+    ones = Tensor(np.ones((x.shape[0], 1), dtype=x.data.dtype), dtype=x.data.dtype)
     return T.concat([x, ones], axis=1)
 
 

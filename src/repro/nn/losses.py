@@ -45,7 +45,7 @@ def cross_entropy(logits, labels, weight=None, reduction="mean"):
     picked = log_probs[np.arange(labels.size), labels]
     losses = -picked
     if weight is not None:
-        weight = np.asarray(weight, dtype=np.float64)
+        weight = np.asarray(weight, dtype=logits.dtype)
         losses = losses * Tensor(weight[labels])
     return _reduce(losses, reduction)
 

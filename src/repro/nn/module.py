@@ -76,9 +76,24 @@ class Module:
         return sum(param.data.size for param in self.parameters())
 
     def zero_grad(self):
-        """Clear accumulated gradients on every parameter."""
+        """Clear accumulated gradients on every parameter.
+
+        Also clears gradients that leaked onto non-parameter tensors
+        stored as module attributes (cached hidden states, saved
+        activations): the graph linter flags those as
+        ``stale-grad-buffer`` because a stale ``.grad`` silently corrupts
+        accumulation if the tensor re-enters a later graph.
+        """
         for param in self.parameters():
             param.zero_grad()
+        for _, module in self.named_modules():
+            for value in vars(module).values():
+                if (
+                    isinstance(value, Tensor)
+                    and not isinstance(value, Parameter)
+                    and value.grad is not None
+                ):
+                    value.zero_grad()
 
     def register_buffer(self, name, value):
         """Store a non-trainable array that is part of the state dict."""
@@ -135,7 +150,7 @@ class Module:
                         name, value.shape, param.data.shape
                     )
                 )
-            param.data = value.copy()
+            param.data = value.copy()  # repro-lint: allow[param-data] serialization is a sanctioned loading path
         if missing:
             raise KeyError("missing parameters in state dict: {}".format(missing))
         self._load_buffers(state, "")
@@ -145,7 +160,13 @@ class Module:
         for name in self._buffers:
             key = prefix + name
             if key in state:
-                self._buffers[name] = np.asarray(state[key]).copy()
+                # Cast to the registered buffer's dtype so a checkpoint
+                # round-trip preserves the dtype the module was built
+                # with (a float64 archive must not upcast a float32
+                # model's running statistics, and vice versa).
+                self._buffers[name] = np.asarray(
+                    state[key], dtype=self._buffers[name].dtype
+                ).copy()
                 object.__setattr__(self, name, self._buffers[name])
         for name, module in self._modules.items():
             module._load_buffers(state, prefix + name + ".")

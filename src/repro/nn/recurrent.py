@@ -154,7 +154,7 @@ class GRU(Module):
         and as the microbenchmark baseline.
         """
         batch, steps, _ = x.shape
-        h = initial_state if initial_state is not None else self.cell.initial_state(batch)
+        h = initial_state if initial_state is not None else self.cell.initial_state(batch, dtype=x.dtype)
         outputs = []
         for t in range(steps):
             h_new = self.cell(x[:, t, :], h)
@@ -238,7 +238,7 @@ class LSTM(Module):
     def forward_stepwise(self, x, mask=None, return_sequence=False):
         """Seed implementation kept for equivalence tests and benchmarks."""
         batch, steps, _ = x.shape
-        h, c = self.cell.initial_state(batch)
+        h, c = self.cell.initial_state(batch, dtype=x.dtype)
         outputs = []
         for t in range(steps):
             gates = x[:, t, :] @ self.cell.w.T + h @ self.cell.u.T + self.cell.b

@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import losses
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, as_float_array, no_grad
 
 __all__ = ["GradientInversionAttack", "MembershipInferenceAttack"]
 
@@ -47,7 +47,7 @@ class GradientInversionAttack:
         """Compute the per-example gradient a federated client would upload."""
         loss_fn = loss_fn or losses.cross_entropy
         model.zero_grad()
-        example = np.atleast_2d(np.asarray(example, dtype=np.float64))
+        example = np.atleast_2d(as_float_array(example))
         loss = loss_fn(model(Tensor(example)), np.atleast_1d(label))
         loss.backward()
         return {
@@ -80,8 +80,8 @@ class GradientInversionAttack:
     @staticmethod
     def reconstruction_quality(original, recovered):
         """Cosine similarity between the true input and the reconstruction."""
-        original = np.asarray(original, dtype=np.float64).reshape(-1)
-        recovered = np.asarray(recovered, dtype=np.float64).reshape(-1)
+        original = as_float_array(original).reshape(-1)
+        recovered = as_float_array(recovered).reshape(-1)
         denom = np.linalg.norm(original) * np.linalg.norm(recovered)
         if denom == 0:
             return 0.0

@@ -62,7 +62,7 @@ class DPSGDTrainer:
     def _apply_flat(self, flat):
         offset = 0
         for param, size, shape in zip(self._params, self._sizes, self._shapes):
-            param.data = param.data - self.lr * flat[offset:offset + size].reshape(shape)
+            param.data = param.data - self.lr * flat[offset:offset + size].reshape(shape)  # repro-lint: allow[param-data] DP-SGD applies the noised aggregate step itself
             offset += size
 
     def step(self, features, labels):

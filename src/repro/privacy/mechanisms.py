@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import as_float_array
+
 __all__ = [
     "clip_by_l2",
     "LaplaceMechanism",
@@ -26,7 +28,7 @@ def clip_by_l2(vector, bound):
     """
     if bound <= 0:
         raise ValueError("clipping bound must be positive")
-    vector = np.asarray(vector, dtype=np.float64)
+    vector = as_float_array(vector)
     norm = float(np.linalg.norm(vector))
     if norm > bound:
         return vector * (bound / norm)
@@ -51,8 +53,9 @@ class LaplaceMechanism:
 
     def randomize(self, value):
         """Add Laplace noise elementwise."""
-        value = np.asarray(value, dtype=np.float64)
-        return value + self.rng.laplace(0.0, self.scale, size=value.shape)
+        value = as_float_array(value)
+        noise = self.rng.laplace(0.0, self.scale, size=value.shape)
+        return value + noise.astype(value.dtype, copy=False)
 
 
 class GaussianMechanism:
@@ -84,8 +87,9 @@ class GaussianMechanism:
 
     def randomize(self, value):
         """Add Gaussian noise elementwise."""
-        value = np.asarray(value, dtype=np.float64)
-        return value + self.rng.normal(0.0, self.stddev, size=value.shape)
+        value = as_float_array(value)
+        noise = self.rng.normal(0.0, self.stddev, size=value.shape)
+        return value + noise.astype(value.dtype, copy=False)
 
 
 def gaussian_sigma_for(epsilon, delta):

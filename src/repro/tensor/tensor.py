@@ -25,6 +25,7 @@ __all__ = [
     "is_grad_enabled",
     "unbroadcast",
     "as_tensor",
+    "as_float_array",
     "get_default_dtype",
     "set_default_dtype",
     "default_dtype",
@@ -40,10 +41,10 @@ class _GradMode:
 class _DtypeMode:
     """Process-wide default floating dtype for new tensors and parameters."""
 
-    default = np.dtype(np.float64)
+    default = np.dtype(np.float64)  # repro-lint: allow[dtype-literal] this IS the default-dtype machinery
 
 
-_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))  # repro-lint: allow[dtype-literal] the two supported float dtypes
 
 # Optional profiling hook installed by :mod:`repro.profiler`.  When set, it
 # is called as ``_profile_hook(backward, data)`` for every op that goes
@@ -135,6 +136,22 @@ def unbroadcast(grad, shape):
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def as_float_array(value, dtype=None):
+    """Coerce ``value`` to a floating ndarray without silent dtype drift.
+
+    Arrays that are already float32/float64 keep their dtype; everything
+    else (ints, bools, lists) is cast to ``dtype`` (the configurable
+    default when None).  This is the sanctioned route for numpy-level code
+    that must respect the dtype a model was built with — writing
+    ``np.asarray(x, dtype=np.float64)`` instead silently upcasts float32
+    pipelines and is flagged by ``repro.analysis.lint``.
+    """
+    array = np.asarray(value)
+    if array.dtype in _FLOAT_DTYPES:
+        return array
+    return array.astype(np.dtype(dtype) if dtype is not None else _DtypeMode.default)
 
 
 def as_tensor(value, dtype=None):

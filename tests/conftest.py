@@ -1,0 +1,25 @@
+"""Shared test configuration.
+
+``REPRO_SANITIZE=1`` wraps every test in :class:`repro.analysis.sanitize`
+(with the NaN tripwire off — several tests produce inf/NaN on purpose).
+`make sanitize-check` runs a fast subset of the suite this way, turning
+any in-place mutation of a graph-held array into a hard failure.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import sanitize
+
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+
+
+@pytest.fixture(autouse=_SANITIZE)
+def _sanitized_run():
+    if not _SANITIZE:
+        yield
+        return
+    guard = sanitize()
+    with guard:
+        yield

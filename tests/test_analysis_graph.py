@@ -1,0 +1,131 @@
+"""Graph linter: each finding kind has a concrete trigger, clean graphs pass."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import iter_graph, lint_graph, stale_grad_tensors
+from repro.tensor import Tensor, no_grad
+
+
+def _mlp():
+    return nn.Sequential(
+        nn.Linear(6, 4, rng=np.random.default_rng(0)),
+        nn.ReLU(),
+        nn.Linear(4, 2, rng=np.random.default_rng(1)),
+    )
+
+
+def _batch():
+    return Tensor(np.random.default_rng(2).standard_normal((3, 6)))
+
+
+class TwoHeads(nn.Module):
+    """Only one of the two heads is used in forward: a dead layer."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.used = nn.Linear(6, 2, rng=rng)
+        self.dead = nn.Linear(6, 2, rng=rng)
+
+    def forward(self, x):
+        return self.used(x)
+
+
+def test_clean_forward_backward_is_ok():
+    model = _mlp()
+    loss = model(_batch()).sum()
+    loss.backward()
+    report = lint_graph(loss, module=model)
+    assert report.ok, str(report)
+    assert report.num_nodes > 1
+    assert report.num_leaves >= 5  # input + 4 parameters
+
+
+def test_unreachable_parameter_found():
+    model = TwoHeads()
+    loss = model(_batch()).sum()
+    report = lint_graph(loss, module=model)
+    kinds = report.kinds()
+    assert "unreachable-parameter" in kinds
+    names = {f.name for f in report.findings}
+    assert "dead.weight" in names and "dead.bias" in names
+
+
+def test_missing_grad_found():
+    model = _mlp()
+    loss = model(_batch()).sum()
+    loss.backward()
+    # Simulate gradient loss on one reachable parameter (e.g. user code
+    # cleared it between backward() and the optimizer step).
+    model[2].bias.zero_grad()
+    report = lint_graph(loss, module=model)
+    assert "missing-grad" in report.kinds()
+    assert any(f.name == "layer2.bias" for f in report.findings)
+
+
+def test_detached_output_found():
+    model = _mlp()
+    with no_grad():
+        loss = model(_batch()).sum()
+    report = lint_graph(loss, module=model)
+    assert "detached-output" in report.kinds()
+
+
+def test_stale_capture_found():
+    a = Tensor(np.ones(3), requires_grad=True)
+    b = Tensor(np.ones(3) * 2.0, requires_grad=True)
+
+    def backward(grad, grads=None):
+        # Reads ``b`` although only ``a`` is declared as a parent.
+        return grad * b.data
+
+    out = Tensor._make(a.data * b.data, parents=[a], backward=backward)
+    report = lint_graph(out)
+    assert "stale-capture" in report.kinds()
+
+
+def test_cycle_found():
+    a = Tensor(np.ones(2), requires_grad=True)
+    b = Tensor(np.ones(2), requires_grad=True)
+    # Hand-wire a 2-cycle: impossible via public ops, catchable anyway.
+    a._parents = (b,)
+    b._parents = (a,)
+    nodes, cyclic = iter_graph(a)
+    assert cyclic and len(nodes) == 2
+    assert "cycle" in lint_graph(a).kinds()
+
+
+def test_stale_grad_buffer_found_and_cleared_by_zero_grad():
+    model = _mlp()
+    cache = Tensor(np.zeros(4))
+    cache.grad = np.ones(4)  # left over from an earlier backward
+    model.cache = cache
+    loss = model(_batch()).sum()
+    loss.backward()
+    assert dict(stale_grad_tensors(model)) == {"cache": cache}
+    report = lint_graph(loss, module=model)
+    assert "stale-grad-buffer" in report.kinds()
+
+    # Module.zero_grad clears parameter grads AND the stale buffer.
+    model.zero_grad()
+    assert cache.grad is None
+    assert all(p.grad is None for p in model.parameters())
+    assert list(stale_grad_tensors(model)) == []
+
+
+def test_forward_only_graph_has_no_missing_grad():
+    # Without a backward pass, missing-grad must not fire (no grads yet).
+    model = _mlp()
+    loss = model(_batch()).sum()
+    report = lint_graph(loss, module=model)
+    assert "missing-grad" not in report.kinds()
+    assert report.ok
+
+
+def test_report_str_mentions_kind():
+    model = TwoHeads()
+    loss = model(_batch()).sum()
+    report = lint_graph(loss, module=model)
+    assert "unreachable-parameter" in str(report)

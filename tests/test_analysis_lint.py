@@ -1,0 +1,150 @@
+"""Repo lint: each rule fires on a fixture, waivers work, the repo is clean."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.lint import lint_file, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FIXTURES = {
+    "np-random": (
+        "import numpy as np\n"
+        "x = np.random.rand(3)\n"
+    ),
+    "dtype-literal": (
+        "import numpy as np\n"
+        "x = np.zeros(3, dtype=np.float64)\n"
+    ),
+    "param-data": (
+        "def clobber(param, value):\n"
+        "    param.data = value\n"
+    ),
+    "hot-loop": (
+        "# repro-lint: hot-kernel\n"
+        "def slow(values):\n"
+        "    total = 0\n"
+        "    for v in values:\n"
+        "        total += v\n"
+        "    return total\n"
+    ),
+}
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_each_rule_fires_on_its_fixture(tmp_path, rule):
+    path = tmp_path / "fixture_{}.py".format(rule.replace("-", "_"))
+    path.write_text(FIXTURES[rule])
+    violations = lint_file(path)
+    assert violations, rule
+    assert {v.rule for v in violations} == {rule}
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_cli_exits_nonzero_on_each_fixture(tmp_path, rule):
+    path = tmp_path / "fixture.py"
+    path.write_text(FIXTURES[rule])
+    assert main([str(path)]) == 1
+    assert main([str(path), "--rule", rule]) == 1
+
+
+def test_inline_waiver_suppresses(tmp_path):
+    path = tmp_path / "waived.py"
+    path.write_text(
+        "import numpy as np\n"
+        "x = np.zeros(3, dtype=np.float64)"
+        "  # repro-lint: allow[dtype-literal] fixture\n"
+    )
+    assert lint_file(path) == []
+
+
+def test_waiver_for_other_rule_does_not_suppress(tmp_path):
+    path = tmp_path / "wrong_waiver.py"
+    path.write_text(
+        "import numpy as np\n"
+        "x = np.zeros(3, dtype=np.float64)  # repro-lint: allow[np-random] nope\n"
+    )
+    assert [v.rule for v in lint_file(path)] == ["dtype-literal"]
+
+
+def test_np_random_generator_api_is_allowed(tmp_path):
+    path = tmp_path / "generator.py"
+    path.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "x = rng.normal(size=3)\n"
+    )
+    assert lint_file(path) == []
+
+
+def test_loops_fine_outside_hot_files(tmp_path):
+    path = tmp_path / "cold.py"
+    path.write_text("for i in range(3):\n    pass\n")
+    assert lint_file(path) == []
+
+
+def test_hot_marker_in_string_does_not_tag_file(tmp_path):
+    path = tmp_path / "mentions.py"
+    path.write_text(
+        "MARKER = 'repro-lint: hot-kernel'\n"
+        "for i in range(3):\n    pass\n"
+    )
+    assert lint_file(path) == []
+
+
+def test_self_data_writes_are_exempt(tmp_path):
+    path = tmp_path / "own_storage.py"
+    path.write_text(
+        "class T:\n"
+        "    def set(self, value):\n"
+        "        self.data = value\n"
+    )
+    assert lint_file(path) == []
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def nope(:\n")
+    violations = lint_file(path)
+    assert [v.rule for v in violations] == ["syntax"]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text(
+        "import numpy as np\nx = np.random.rand(2)\n")
+    (tmp_path / "pkg" / "b.py").write_text("y = 1\n")
+    violations = lint_paths([tmp_path / "pkg"])
+    assert len(violations) == 1 and violations[0].rule == "np-random"
+
+
+def test_repo_is_clean_via_cli():
+    # The acceptance bar: the shipped tree passes its own lint, through
+    # the real CLI entry point.
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_cli_reports_violation_locations(tmp_path, capsys):
+    path = tmp_path / "fixture.py"
+    path.write_text(FIXTURES["np-random"])
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "fixture.py:2" in out and "[np-random]" in out
+
+
+def test_rules_tuple_is_exhaustive():
+    assert set(lint.RULES) == {
+        "np-random", "dtype-literal", "param-data", "hot-loop",
+    }

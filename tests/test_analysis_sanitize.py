@@ -1,0 +1,117 @@
+"""Mutation sanitizer: silent gradient corruption becomes a loud error."""
+
+import numpy as np
+import pytest
+
+from repro import profiler
+from repro.analysis import MutationError, NumericError, sanitize
+from repro.tensor import Tensor
+from repro.tensor import tensor as tensor_mod
+
+
+def test_seed_engine_silently_accepts_inplace_corruption():
+    # The baseline failure mode this sanitizer exists for: mutating an
+    # input between forward and backward corrupts d(loss)/dw with no
+    # error anywhere.
+    x = Tensor(np.array([1.0, 2.0, 3.0]))
+    w = Tensor(np.array([4.0, 5.0, 6.0]), requires_grad=True)
+    y = (x * w).sum()
+    x.data[:] = 100.0  # repro-lint: allow[param-data] deliberate corruption; no exception anywhere
+    y.backward()
+    # The true gradient is the forward-time x = [1, 2, 3]; the engine
+    # silently used the mutated values instead.
+    assert np.allclose(w.grad, [100.0, 100.0, 100.0])
+    assert not np.allclose(w.grad, [1.0, 2.0, 3.0])
+
+
+def test_sanitizer_catches_the_same_corruption():
+    x = Tensor(np.array([1.0, 2.0, 3.0]))
+    w = Tensor(np.array([4.0, 5.0, 6.0]), requires_grad=True)
+    with sanitize():
+        y = (x * w).sum()
+        with pytest.raises(ValueError, match="read-only"):
+            x.data[:] = 100.0  # repro-lint: allow[param-data] deliberate corruption, caught this time
+        y.backward()
+    # Gradient stayed correct because the write never landed.
+    assert np.allclose(w.grad, [1.0, 2.0, 3.0])
+
+
+def test_arrays_thaw_after_context():
+    x = Tensor(np.array([1.0, 2.0]))
+    w = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+    with sanitize():
+        (x * w).sum().backward()
+    x.data[0] = 9.0  # repro-lint: allow[param-data] checking the thaw
+    assert x.data[0] == 9.0
+
+
+def test_view_mutation_detected_by_checksum():
+    base = np.arange(8.0)
+    view = base[::2]  # does not own its memory; cannot be frozen
+    assert not view.flags.owndata
+    captured = Tensor(view)
+
+    def backward(grad, grads=None):
+        return grad * captured.data
+
+    guard = sanitize()
+    with pytest.raises(MutationError, match="mutated in place"):
+        with guard:
+            Tensor._make(view * 2.0, parents=[captured], backward=backward)
+            base[0] = 123.0  # writes through the un-freezable view
+
+
+def test_verify_passes_when_views_untouched():
+    base = np.arange(8.0)
+    captured = Tensor(base[::2])
+
+    def backward(grad, grads=None):
+        return grad * captured.data
+
+    with sanitize() as guard:
+        Tensor._make(captured.data * 2.0, parents=[captured],
+                     backward=backward)
+        guard.verify()  # explicit mid-context check is also clean
+
+
+def test_nan_tripwire_names_the_op():
+    x = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+    with np.errstate(divide="ignore"):
+        with sanitize(nan_check=True):
+            with pytest.raises(NumericError, match="log"):
+                from repro import tensor as T
+                T.log(x)  # log(0) -> -inf
+
+
+def test_nan_tripwire_off_by_default():
+    x = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+    with np.errstate(divide="ignore"):
+        with sanitize():
+            from repro import tensor as T
+            out = T.log(x)  # no exception without nan_check
+    assert np.isinf(out.data[1])
+
+
+def test_not_reentrant():
+    guard = sanitize()
+    with guard:
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            with guard:
+                pass
+
+
+def test_hook_restored_and_composes_with_profiler():
+    assert tensor_mod._profile_hook is None
+    profiler.reset()
+    with profiler.profile():
+        with sanitize():
+            x = Tensor(np.ones(4))
+            w = Tensor(np.ones(4) * 2.0, requires_grad=True)
+            (x * w).sum().backward()
+        # Sanitizer exit restores the profiler's hook, not None.
+        assert tensor_mod._profile_hook is not None
+    assert tensor_mod._profile_hook is None
+    # The profiler still saw the ops that ran inside the sanitizer.
+    stats = profiler.get_stats()
+    assert sum(s["calls"] for s in stats["ops"].values()) > 0
+    profiler.reset()

@@ -1,0 +1,199 @@
+"""Abstract interpreter vs. real forward: every repro.nn layer, both dtypes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    ShapeError,
+    Spec,
+    UnknownModuleError,
+    abstract_forward,
+    check_module,
+    register_rule,
+    uncovered_layers,
+)
+from repro.tensor import Tensor, default_dtype
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+# Each case: (name, module factory, concrete input factory).  The concrete
+# factory returns an ndarray, a tuple (for cells), or a list (for fusion
+# heads); the abstract input is derived from it so both runs see the same
+# shapes and dtypes.
+CASES = [
+    ("Linear", lambda: nn.Linear(8, 5, rng=_rng()),
+     lambda dt: _rng().standard_normal((4, 8)).astype(dt)),
+    ("Linear-nobias", lambda: nn.Linear(8, 5, bias=False, rng=_rng()),
+     lambda dt: _rng().standard_normal((4, 8)).astype(dt)),
+    ("ReLU", nn.ReLU, lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("LeakyReLU", lambda: nn.LeakyReLU(0.1),
+     lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Tanh", nn.Tanh, lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Sigmoid", nn.Sigmoid, lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Softmax", nn.Softmax, lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Identity", nn.Identity, lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Dropout", lambda: nn.Dropout(0.5, rng=_rng()).eval(),
+     lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Flatten", nn.Flatten,
+     lambda dt: _rng().standard_normal((4, 2, 3, 5)).astype(dt)),
+    ("BatchNorm1d", lambda: nn.BatchNorm1d(7),
+     lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("LayerNorm", lambda: nn.LayerNorm(7),
+     lambda dt: _rng().standard_normal((4, 7)).astype(dt)),
+    ("Sequential", lambda: nn.Sequential(
+        nn.Linear(8, 6, rng=_rng()), nn.ReLU(), nn.Linear(6, 3, rng=_rng())),
+     lambda dt: _rng().standard_normal((4, 8)).astype(dt)),
+    ("Conv2d", lambda: nn.Conv2d(3, 6, 3, stride=1, padding=1, rng=_rng()),
+     lambda dt: _rng().standard_normal((2, 3, 8, 8)).astype(dt)),
+    ("Conv2d-grouped", lambda: nn.Conv2d(4, 8, 3, groups=2, rng=_rng()),
+     lambda dt: _rng().standard_normal((2, 4, 8, 8)).astype(dt)),
+    ("MaxPool2d", lambda: nn.MaxPool2d(2),
+     lambda dt: _rng().standard_normal((2, 3, 8, 8)).astype(dt)),
+    ("AvgPool2d", lambda: nn.AvgPool2d(2),
+     lambda dt: _rng().standard_normal((2, 3, 8, 8)).astype(dt)),
+    ("GlobalAvgPool2d", nn.GlobalAvgPool2d,
+     lambda dt: _rng().standard_normal((2, 3, 8, 8)).astype(dt)),
+    ("DepthwiseSeparableConv2d",
+     lambda: nn.DepthwiseSeparableConv2d(3, 6, 3, padding=1, rng=_rng()),
+     lambda dt: _rng().standard_normal((2, 3, 8, 8)).astype(dt)),
+    ("GRUCell", lambda: nn.GRUCell(5, 4, rng=_rng()),
+     lambda dt: (_rng().standard_normal((3, 5)).astype(dt),
+                 _rng().standard_normal((3, 4)).astype(dt))),
+    ("GRU", lambda: nn.GRU(5, 4, rng=_rng()),
+     lambda dt: _rng().standard_normal((3, 6, 5)).astype(dt)),
+    ("LSTMCell", lambda: nn.LSTMCell(5, 4, rng=_rng()),
+     lambda dt: (_rng().standard_normal((3, 5)).astype(dt),
+                 (_rng().standard_normal((3, 4)).astype(dt),
+                  _rng().standard_normal((3, 4)).astype(dt)))),
+    ("LSTM", lambda: nn.LSTM(5, 4, rng=_rng()),
+     lambda dt: _rng().standard_normal((3, 6, 5)).astype(dt)),
+    ("Bidirectional", lambda: nn.Bidirectional(
+        nn.GRU(5, 4, rng=_rng()), nn.GRU(5, 4, rng=_rng())),
+     lambda dt: _rng().standard_normal((3, 6, 5)).astype(dt)),
+    ("FullyConnectedFusion",
+     lambda: nn.FullyConnectedFusion([4, 6], 8, 2, rng=_rng()),
+     lambda dt: [_rng().standard_normal((3, 4)).astype(dt),
+                 _rng().standard_normal((3, 6)).astype(dt)]),
+    ("FactorizationMachineFusion",
+     lambda: nn.FactorizationMachineFusion([4, 6], 8, 2, rng=_rng()),
+     lambda dt: [_rng().standard_normal((3, 4)).astype(dt),
+                 _rng().standard_normal((3, 6)).astype(dt)]),
+    ("MultiViewMachineFusion",
+     lambda: nn.MultiViewMachineFusion([4, 6], 8, 2, rng=_rng()),
+     lambda dt: [_rng().standard_normal((3, 4)).astype(dt),
+                 _rng().standard_normal((3, 6)).astype(dt)]),
+]
+
+
+def _to_spec(value):
+    if isinstance(value, np.ndarray):
+        return Spec(value.shape, value.dtype)
+    if isinstance(value, (tuple, list)):
+        return type(value)(_to_spec(v) for v in value)
+    raise TypeError(type(value))
+
+
+def _to_tensors(value):
+    if isinstance(value, np.ndarray):
+        return Tensor(value, dtype=value.dtype)
+    if isinstance(value, (tuple, list)):
+        return type(value)(_to_tensors(v) for v in value)
+    raise TypeError(type(value))
+
+
+def _call(module, concrete):
+    if isinstance(concrete, tuple):
+        # Cells take (x, state) as positional arguments.
+        return module(*_to_tensors(concrete))
+    return module(_to_tensors(concrete))
+
+
+def _flatten(value):
+    if isinstance(value, (tuple, list)):
+        out = []
+        for item in value:
+            out.extend(_flatten(item))
+        return out
+    return [value]
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+@pytest.mark.parametrize("name,make_module,make_input",
+                         CASES, ids=[c[0] for c in CASES])
+def test_abstract_matches_real_forward(name, make_module, make_input, dtype):
+    with default_dtype(dtype):
+        module = make_module()
+        concrete = make_input(np.dtype(dtype))
+        real = _call(module, concrete)
+    out, trace = check_module(module, _to_spec(concrete))
+    real_flat = _flatten(real)
+    spec_flat = _flatten(out)
+    assert len(real_flat) == len(spec_flat)
+    for tensor, spec in zip(real_flat, spec_flat):
+        assert tuple(tensor.shape) == spec.shape, name
+        assert tensor.data.dtype == spec.dtype, name
+    # A same-dtype model/input run must not report an upcast.
+    assert not trace.upcasts(), trace
+
+
+def test_every_exported_layer_has_a_rule():
+    assert uncovered_layers() == []
+
+
+def test_linear_shape_mismatch_is_caught():
+    module = nn.Linear(8, 5)
+    with pytest.raises(ShapeError):
+        abstract_forward(module, Spec((4, 9)))
+
+
+def test_batchnorm_rejects_rank3_input():
+    # BatchNorm1d over (batch, time, features) would normalize the wrong
+    # axis silently at runtime; the interpreter makes it an error.
+    module = nn.BatchNorm1d(7)
+    with pytest.raises(ShapeError):
+        abstract_forward(module, Spec((4, 6, 7)))
+
+
+def test_conv_kernel_too_large_is_caught():
+    module = nn.Conv2d(3, 6, 5)
+    with pytest.raises(ShapeError):
+        abstract_forward(module, Spec((2, 3, 4, 4)))
+
+
+def test_fusion_view_count_mismatch_is_caught():
+    module = nn.FullyConnectedFusion([4, 6], 8, 2)
+    with pytest.raises(ShapeError):
+        abstract_forward(module, [Spec((3, 4))])
+
+
+def test_upcast_event_recorded_for_mixed_dtypes():
+    module = nn.Linear(8, 5)  # float64 weights under the default dtype
+    out, trace = check_module(module, Spec((4, 8), np.float32))
+    assert out.dtype == np.float64
+    assert trace.upcasts()
+
+
+def test_unknown_module_reports_missing_rule():
+    class Strange(nn.Module):
+        def forward(self, x):
+            return x
+
+    with pytest.raises(UnknownModuleError):
+        abstract_forward(Strange(), Spec((2, 2)))
+
+
+def test_register_rule_extends_dispatch():
+    class Doubler(nn.Module):
+        def forward(self, x):
+            return x * 2
+
+    @register_rule(Doubler)
+    def _rule(module, inputs, trace):
+        return inputs
+
+    out = abstract_forward(Doubler(), Spec((3, 3)))
+    assert out.shape == (3, 3)

@@ -32,7 +32,7 @@ class TestTensorBasics:
     def test_copy_is_deep(self):
         a = Tensor([1.0, 2.0])
         b = a.copy()
-        b.data[0] = 99.0
+        b.data[0] = 99.0  # repro-lint: allow[param-data] test mutates storage on purpose
         assert a.data[0] == 1.0
 
     def test_backward_requires_scalar_without_grad(self):
