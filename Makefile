@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check bench-smoke bench
 
-check: test lint sanitize-check bench-smoke
+check: test lint sanitize-check chaos-check bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -23,6 +23,12 @@ sanitize-check:
 		tests/test_tensor_ops.py tests/test_tensor_conv.py \
 		tests/test_conv_gradcheck.py tests/test_nn_layers.py \
 		tests/test_nn_recurrent.py tests/test_nn_losses.py
+
+# Fault-injection sweep: FedAvg/selective-SGD driven through the fixed
+# chaos seed matrix (50 seeded random fault schedules) plus the
+# offline-link and checkpoint/resume regressions.  Fully deterministic.
+chaos-check:
+	python -m pytest tests/test_faults.py tests/test_federated_chaos.py -q
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

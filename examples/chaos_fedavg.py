@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fault injection & chaos testing for federated training.
+
+Mobile fleets fail constantly: phones drop off WiFi, straggle on slow
+links, upload corrupted or stale updates.  This example sweeps FedAvg
+through increasing dropout rates under the robustness policies
+(`repro.federated.RobustnessPolicy`) and prints two curves:
+
+* accuracy vs dropout rate — quorum-based partial aggregation keeps the
+  model converging far past the naive failure point, and
+* bytes wasted on retries/rejections vs dropout rate — the communication
+  price of that robustness, straight from the `CommunicationLedger`.
+
+Every fault schedule is seeded, so the numbers below reproduce exactly.
+
+Run:  python examples/chaos_fedavg.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.faults import FaultInjector, FaultSpec
+from repro.federated import FedAvg, FederatedClient, RobustnessPolicy
+from repro.synth import iid_partition, make_digits
+
+ROUNDS = 10
+DROPOUT_RATES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def model_fn():
+    rng = np.random.default_rng(42)
+    return nn.Sequential(nn.Linear(64, 10, rng=rng))
+
+
+def make_clients(shards):
+    return [
+        FederatedClient(i, ArrayDataset(x, y), model_fn, seed=i)
+        for i, (x, y) in enumerate(shards)
+    ]
+
+
+def main():
+    x, y = make_digits(240, seed=1)
+    parts = iid_partition(len(y), 4, rng=np.random.default_rng(0))
+    shards = [(x[p], y[p]) for p in parts]
+    eval_data = make_digits(120, seed=2)
+
+    policy = RobustnessPolicy(min_quorum=2, max_retries=2,
+                              base_compute_s=10.0, straggler_cutoff_s=60.0,
+                              timeout_s=200.0)
+
+    print("FedAvg under injected faults "
+          "(4 clients, {} rounds, quorum 2, 2 retries)".format(ROUNDS))
+    print("{:>8} {:>9} {:>9} {:>12} {:>8} {:>7}".format(
+        "dropout", "accuracy", "retries", "wasted-bytes", "wasted%", "aborts"))
+    for rate in DROPOUT_RATES:
+        spec = FaultSpec(dropout_rate=rate, straggler_rate=0.3,
+                         straggler_scale=20.0)
+        trainer = FedAvg(make_clients(shards), model_fn, local_epochs=2,
+                         lr=0.3, seed=0,
+                         injector=FaultInjector(spec, seed=1), policy=policy)
+        history = trainer.run(ROUNDS, eval_data, eval_every=ROUNDS)
+        ledger = history.ledger
+        print("{:>8.0%} {:>9.4f} {:>9d} {:>12,d} {:>8.1%} {:>7d}".format(
+            rate, history.final_accuracy(), ledger.retries,
+            ledger.wasted_bytes, ledger.wasted_fraction(), ledger.aborts))
+
+    print()
+    print("The 0% row is the fault-free baseline (stragglers only); the")
+    print("acceptance bar is 30% dropout within 2 accuracy points of it.")
+
+
+if __name__ == "__main__":
+    main()

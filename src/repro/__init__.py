@@ -23,6 +23,9 @@ scratch on numpy/scipy:
   XGBoost-style boosting;
 * :mod:`repro.profiler` — scoped timers plus per-op call/byte counters
   hooked into the autograd engine and ``nn.Module`` forward passes;
+* :mod:`repro.faults` — seeded fault injection (dropout, stragglers,
+  link loss, corruption, staleness, availability windows) and the chaos
+  harness behind the robustness tests;
 * :mod:`repro.analysis` — static analysis and sanitizers: an autograd
   graph linter, a shape/dtype abstract interpreter, a mutation/NaN
   sanitizer, and the repo lint CLI
@@ -37,6 +40,7 @@ from . import (  # noqa: F401
     compression,
     core,
     data,
+    faults,
     federated,
     inference,
     mobile,
@@ -54,6 +58,7 @@ __all__ = [
     "compression",
     "core",
     "data",
+    "faults",
     "federated",
     "inference",
     "mobile",

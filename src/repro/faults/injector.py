@@ -1,0 +1,211 @@
+"""Seeded fault injection for the federated/mobile simulation.
+
+The paper's Sec. II-B setting assumes an "unstable connection between
+mobile devices and the server": clients drop out mid-round, straggle,
+lose uploads on a flaky radio, push corrupted or stale updates, and
+disappear behind metered-link policy windows.  This module models all of
+those failure modes as *pure functions of a seed and a coordinate*
+``(round, client, attempt)`` — no hidden generator state — so that
+
+* the exact same fault schedule replays under the same seed,
+* checkpoint/resume reproduces an uninterrupted run bit-for-bit (no
+  generator to fast-forward), and
+* every chaos test is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultInjector", "SimulatedClock", "corrupt_state"]
+
+# Stable small integers namespacing the per-decision generators; order is
+# part of the on-disk schedule contract, so append only.
+_TAGS = {
+    "dropout": 1,
+    "straggler": 2,
+    "upload": 3,
+    "corrupt": 4,
+    "stale": 5,
+    "corrupt_values": 6,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and shapes of every supported failure model.
+
+    All rates are per *attempt* probabilities in [0, 1]; retry policies in
+    :class:`repro.federated.RobustnessPolicy` decide how many attempts a
+    client gets.
+    """
+
+    dropout_rate: float = 0.0          # client vanishes after download
+    straggler_rate: float = 0.0        # attempt draws a slow-compute factor
+    straggler_scale: float = 4.0       # mean extra slowdown for stragglers
+    upload_loss_rate: float = 0.0      # link dies mid-upload
+    corruption_rate: float = 0.0       # delivered update has garbage values
+    stale_rate: float = 0.0            # update was computed on an old state
+    max_injected_staleness: int = 2    # upper bound on injected version lag
+    link_down_period_s: float = 0.0    # metered-link window cadence (0: never)
+    link_down_duration_s: float = 0.0  # unavailability at each window start
+
+    def __post_init__(self):
+        for name in ("dropout_rate", "straggler_rate", "upload_loss_rate",
+                     "corruption_rate", "stale_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("{} must be in [0, 1]".format(name))
+        if self.max_injected_staleness < 0:
+            raise ValueError("max_injected_staleness must be non-negative")
+        if self.link_down_duration_s < 0 or self.link_down_period_s < 0:
+            raise ValueError("link window durations must be non-negative")
+        if (self.link_down_period_s > 0
+                and self.link_down_duration_s >= self.link_down_period_s):
+            raise ValueError("link_down_duration_s must be shorter than the period")
+
+    def scaled(self, factor):
+        """A copy with every rate multiplied by ``factor`` (clipped to 1)."""
+        clip = lambda r: float(min(max(r * factor, 0.0), 1.0))
+        return replace(
+            self,
+            dropout_rate=clip(self.dropout_rate),
+            straggler_rate=clip(self.straggler_rate),
+            upload_loss_rate=clip(self.upload_loss_rate),
+            corruption_rate=clip(self.corruption_rate),
+            stale_rate=clip(self.stale_rate),
+        )
+
+
+class SimulatedClock:
+    """Monotonic simulated time; the robustness layer never reads wall time."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def advance(self, seconds):
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += float(seconds)
+        return self.now
+
+
+def corrupt_state(state, rng, fraction=0.05):
+    """A corrupted *copy* of a state dict: NaNs splattered over each array.
+
+    At least one coordinate per array is hit so server-side validation is
+    guaranteed to notice.
+    """
+    corrupted = {}
+    for name, value in state.items():
+        value = np.array(value, copy=True)
+        flat = value.reshape(-1)
+        count = max(1, int(round(fraction * flat.size)))
+        picks = rng.choice(flat.size, size=min(count, flat.size), replace=False)
+        flat[picks] = np.nan
+        corrupted[name] = value
+    return corrupted
+
+
+class FaultInjector:
+    """Deterministic oracle answering "does fault X hit at (round, client, attempt)?".
+
+    Every query derives a fresh :func:`numpy.random.default_rng` from
+    ``(seed, tag, round, client, attempt)``, so answers are independent of
+    query order and of one another — the whole schedule is fixed the moment
+    the seed is.
+    """
+
+    def __init__(self, spec=None, seed=0):
+        self.spec = spec or FaultSpec()
+        self.seed = int(seed)
+
+    def _rng(self, tag, round_index, client_id, attempt):
+        return np.random.default_rng(
+            (self.seed, _TAGS[tag], int(round_index), int(client_id), int(attempt))
+        )
+
+    def _hit(self, tag, rate, round_index, client_id, attempt):
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return bool(self._rng(tag, round_index, client_id, attempt).random() < rate)
+
+    # ------------------------------------------------------------------
+    # Per-attempt failure decisions
+    # ------------------------------------------------------------------
+    def drops_out(self, round_index, client_id, attempt=0):
+        """Client goes dark after downloading the model."""
+        return self._hit("dropout", self.spec.dropout_rate,
+                         round_index, client_id, attempt)
+
+    def straggler_factor(self, round_index, client_id, attempt=0):
+        """Multiplier on the client's nominal compute time (1.0 = on time)."""
+        if not self._hit("straggler", self.spec.straggler_rate,
+                         round_index, client_id, attempt):
+            return 1.0
+        rng = self._rng("straggler", round_index, client_id, attempt)
+        rng.random()  # skip the coin already consumed by _hit's generator twin
+        return 1.0 + float(rng.exponential(self.spec.straggler_scale))
+
+    def upload_lost(self, round_index, client_id, attempt=0):
+        """Link drops mid-upload; the bytes are spent but never arrive."""
+        return self._hit("upload", self.spec.upload_loss_rate,
+                         round_index, client_id, attempt)
+
+    def corrupts(self, round_index, client_id, attempt=0):
+        """Delivered update carries corrupted values."""
+        return self._hit("corrupt", self.spec.corruption_rate,
+                         round_index, client_id, attempt)
+
+    def staleness(self, round_index, client_id, attempt=0):
+        """Version lag of the state the client trained against (0 = fresh)."""
+        if not self._hit("stale", self.spec.stale_rate,
+                         round_index, client_id, attempt):
+            return 0
+        rng = self._rng("stale", round_index, client_id, attempt)
+        rng.random()
+        return int(rng.integers(1, self.spec.max_injected_staleness + 1))
+
+    def corrupt(self, state, round_index, client_id, attempt=0):
+        """Corrupted copy of ``state`` (see :func:`corrupt_state`)."""
+        rng = self._rng("corrupt_values", round_index, client_id, attempt)
+        return corrupt_state(state, rng)
+
+    # ------------------------------------------------------------------
+    # Link availability windows
+    # ------------------------------------------------------------------
+    def link_available(self, at_seconds):
+        """Whether the uplink is usable at simulated time ``at_seconds``.
+
+        The link goes down for ``link_down_duration_s`` at the start of
+        every ``link_down_period_s`` window — a deterministic stand-in for
+        metered-link policy windows.
+        """
+        period = self.spec.link_down_period_s
+        if period <= 0.0:
+            return True
+        return (float(at_seconds) % period) >= self.spec.link_down_duration_s
+
+    def schedule(self, num_rounds, client_ids, attempts=1):
+        """Materialize the full fault schedule as a nested dict (for tests).
+
+        Purely a readout of the deterministic oracle; calling it does not
+        change any subsequent answer.
+        """
+        table = {}
+        for round_index in range(1, num_rounds + 1):
+            for client_id in client_ids:
+                for attempt in range(attempts):
+                    table[(round_index, client_id, attempt)] = {
+                        "dropout": self.drops_out(round_index, client_id, attempt),
+                        "straggler_factor": self.straggler_factor(
+                            round_index, client_id, attempt),
+                        "upload_lost": self.upload_lost(round_index, client_id, attempt),
+                        "corrupt": self.corrupts(round_index, client_id, attempt),
+                        "staleness": self.staleness(round_index, client_id, attempt),
+                    }
+        return table

@@ -1,0 +1,79 @@
+"""A network link wrapper that injects availability faults.
+
+Wraps a :class:`repro.mobile.NetworkLink` so deployment planning and the
+federated loops can ask "what does this transfer cost *right now*?" —
+where "now" is a :class:`~repro.faults.injector.SimulatedClock` reading,
+never wall time.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector, SimulatedClock
+
+__all__ = ["FaultyLink"]
+
+
+class FaultyLink:
+    """A :class:`NetworkLink` that is intermittently unavailable.
+
+    Parameters
+    ----------
+    base:
+        The underlying :class:`repro.mobile.NetworkLink`.
+    injector:
+        Supplies the availability windows via
+        :meth:`FaultInjector.link_available`.
+    clock:
+        Source of simulated time for calls that do not pass ``at``.
+    """
+
+    def __init__(self, base, injector=None, clock=None):
+        self.base = base
+        self.injector = injector or FaultInjector()
+        self.clock = clock or SimulatedClock()
+
+    # Delegate the static link properties.
+    @property
+    def name(self):
+        return self.base.name
+
+    @property
+    def bandwidth_mbps(self):
+        return self.base.bandwidth_mbps
+
+    @property
+    def rtt_ms(self):
+        return self.base.rtt_ms
+
+    @property
+    def metered(self):
+        return self.base.metered
+
+    @property
+    def available(self):
+        return self.available_at(self.clock.now)
+
+    @property
+    def usable(self):
+        return self.available and self.base.usable
+
+    def available_at(self, at_seconds):
+        """Whether the link is up at simulated time ``at_seconds``."""
+        if not self.base.available:
+            return False
+        return self.injector.link_available(at_seconds)
+
+    def transfer_seconds(self, num_bytes, at=None):
+        """Transfer time at simulated time ``at`` (``inf`` while down)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        at = self.clock.now if at is None else at
+        if not self.available_at(at):
+            return float("inf")
+        return self.base.transfer_seconds(num_bytes)
+
+    def transmit_energy_joules(self, num_bytes, device):
+        return self.base.transmit_energy_joules(num_bytes, device)
+
+    def receive_energy_joules(self, num_bytes, device):
+        return self.base.receive_energy_joules(num_bytes, device)

@@ -1,9 +1,21 @@
 """Federated and distributed training over simulated mobile fleets."""
 
-from .comm import CommunicationLedger, sparse_update_bytes, state_bytes
+from .comm import (
+    CommunicationLedger,
+    RoundTraffic,
+    sparse_update_bytes,
+    state_bytes,
+)
 from .client import FederatedClient
-from .server import ParameterServer
-from .algorithms import FedAvg, FedSGD, FederatedHistory, RoundRecord
+from .server import ParameterServer, QuorumError, update_is_corrupt
+from .algorithms import (
+    FedAvg,
+    FedSGD,
+    FederatedHistory,
+    RobustnessPolicy,
+    RoundRecord,
+)
+from .checkpoint import load_checkpoint, save_checkpoint
 from .selective import (
     DistributedSelectiveSGD,
     SelectiveSGDParticipant,
@@ -12,14 +24,20 @@ from .secure_agg import SecureAggregator
 
 __all__ = [
     "CommunicationLedger",
+    "RoundTraffic",
     "sparse_update_bytes",
     "state_bytes",
     "FederatedClient",
     "ParameterServer",
+    "QuorumError",
+    "update_is_corrupt",
     "FedAvg",
     "FedSGD",
     "FederatedHistory",
+    "RobustnessPolicy",
     "RoundRecord",
+    "load_checkpoint",
+    "save_checkpoint",
     "DistributedSelectiveSGD",
     "SelectiveSGDParticipant",
     "SecureAggregator",

@@ -9,14 +9,49 @@ byte accounting so that comparison is apples-to-apples.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .comm import CommunicationLedger, state_bytes
-from .server import ParameterServer
+from .comm import CommunicationLedger, RoundTraffic, state_bytes
+from .server import ParameterServer, QuorumError, update_is_corrupt
 
-__all__ = ["RoundRecord", "FederatedHistory", "FedSGD", "FedAvg"]
+__all__ = ["RoundRecord", "FederatedHistory", "RobustnessPolicy", "FedSGD",
+           "FedAvg"]
+
+
+@dataclass(frozen=True)
+class RobustnessPolicy:
+    """Server-side tolerance knobs for fault-injected training.
+
+    All times are *simulated* seconds (see
+    :class:`repro.faults.SimulatedClock`); nothing here reads wall time.
+    """
+
+    timeout_s: float = 120.0        # per-attempt budget (download+compute+upload)
+    max_retries: int = 2            # extra attempts after the first failure
+    backoff_base_s: float = 1.0     # retry n waits base * 2**(n-1) first
+    min_quorum: int = 1             # surviving updates needed to commit a round
+    straggler_cutoff_s: float = 90.0  # cut clients whose compute alone exceeds this
+    max_staleness: int = 0          # accepted version lag of an update
+    base_compute_s: float = 10.0    # nominal local-training duration
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.min_quorum < 1:
+            raise ValueError("min_quorum must be at least 1")
+        if self.timeout_s <= 0 or self.straggler_cutoff_s <= 0:
+            raise ValueError("timeout_s and straggler_cutoff_s must be positive")
+        if self.backoff_base_s < 0 or self.base_compute_s < 0:
+            raise ValueError("durations must be non-negative")
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be non-negative")
+
+    def backoff_s(self, retry_number):
+        """Exponential backoff before the ``retry_number``-th retry (1-based)."""
+        return self.backoff_base_s * (2.0 ** (max(retry_number, 1) - 1))
 
 
 @dataclass
@@ -58,7 +93,8 @@ class _FederatedLoop:
     """Shared machinery: client sampling, evaluation, accounting."""
 
     def __init__(self, clients, model_fn, client_fraction=1.0, seed=0,
-                 fleet=None, hours_per_round=1.0):
+                 fleet=None, hours_per_round=1.0, injector=None, policy=None,
+                 link=None):
         if not clients:
             raise ValueError("need at least one client")
         if not 0.0 < client_fraction <= 1.0:
@@ -69,6 +105,16 @@ class _FederatedLoop:
         self.rng = np.random.default_rng(seed)
         self.fleet = fleet
         self.hours_per_round = hours_per_round
+        self.injector = injector
+        self.policy = policy or RobustnessPolicy()
+        self.link = link
+        self.clock = None
+        self._state_history = []
+        self._round_index = 0
+        if injector is not None:
+            from ..faults import SimulatedClock
+
+            self.clock = SimulatedClock()
 
     def _sample_clients(self, round_index):
         population = self.clients
@@ -83,14 +129,29 @@ class _FederatedLoop:
                                 replace=False)
         return [population[i] for i in picks]
 
-    def run(self, num_rounds, eval_data, eval_every=1, target_accuracy=None):
-        """Train for ``num_rounds`` rounds; stop early at ``target_accuracy``."""
+    def run(self, num_rounds, eval_data, eval_every=1, target_accuracy=None,
+            checkpoint_path=None, checkpoint_every=1, resume=False):
+        """Train for ``num_rounds`` rounds; stop early at ``target_accuracy``.
+
+        With ``checkpoint_path`` set, the loop writes a resumable snapshot
+        every ``checkpoint_every`` completed rounds; ``resume=True`` picks
+        up from that snapshot (if present) and reproduces the
+        uninterrupted run bit-for-bit — RNG states, ledger, records, and
+        the simulated clock all round-trip (see
+        :mod:`repro.federated.checkpoint`).
+        """
+        from .checkpoint import load_checkpoint, save_checkpoint
+
         history = FederatedHistory()
         features, labels = eval_data
-        for round_index in range(1, num_rounds + 1):
+        start_round = 1
+        if resume and checkpoint_path and os.path.exists(checkpoint_path):
+            start_round = load_checkpoint(checkpoint_path, self, history) + 1
+        for round_index in range(start_round, num_rounds + 1):
+            self._round_index = round_index
             participants = self._sample_clients(round_index)
-            up, down = self._round(participants)
-            history.ledger.record_round(up, down)
+            traffic = self._round(participants)
+            history.ledger.record_round(*traffic)
             if round_index % eval_every == 0 or round_index == num_rounds:
                 acc = self.server.evaluate(features, labels)
                 history.records.append(RoundRecord(
@@ -100,7 +161,12 @@ class _FederatedLoop:
                     cumulative_megabytes=history.ledger.total_megabytes(),
                 ))
                 if target_accuracy is not None and acc >= target_accuracy:
+                    if checkpoint_path:
+                        save_checkpoint(checkpoint_path, self, history, round_index)
                     break
+            if checkpoint_path and (round_index % checkpoint_every == 0
+                                    or round_index == num_rounds):
+                save_checkpoint(checkpoint_path, self, history, round_index)
         return history
 
     def _round(self, participants):
@@ -141,6 +207,8 @@ class FedAvg(_FederatedLoop):
         self.momentum = momentum
 
     def _round(self, participants):
+        if self.injector is not None:
+            return self._robust_round(participants)
         state = self.server.broadcast()
         per_client = state_bytes(state)
         states, weights = [], []
@@ -153,3 +221,159 @@ class FedAvg(_FederatedLoop):
             weights.append(count)
         self.server.average_states(states, weights)
         return per_client * len(participants), per_client * len(participants)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant path (active when a FaultInjector is attached)
+    # ------------------------------------------------------------------
+    def _robust_round(self, participants):
+        """One round under fault injection with the robustness policy.
+
+        Byte accounting: ``up``/``down`` count transfers that completed
+        end-to-end; ``wasted`` counts every byte that bought no model
+        progress — failed attempts *and* delivered updates the server
+        rejected (corrupt or too stale), and the whole round's traffic if
+        the quorum is missed.
+        """
+        policy = self.policy
+        state = self.server.broadcast()
+        version = self.server.version
+        self._remember_broadcast(version, state)
+        per_client = state_bytes(state)
+        up = down = wasted = retries = 0
+        states, weights = [], []
+        for client in participants:
+            outcome = self._robust_client_round(client, state, version,
+                                                per_client)
+            up += outcome["up"]
+            down += outcome["down"]
+            wasted += outcome["wasted"]
+            retries += outcome["retries"]
+            if outcome["state"] is not None:
+                states.append(outcome["state"])
+                weights.append(outcome["weight"])
+        aborts = 0
+        try:
+            self.server.average_states(states, weights,
+                                       min_quorum=policy.min_quorum)
+        except QuorumError:
+            # Too few survivors: skip the round; everything it moved is waste.
+            aborts = 1
+            wasted += up + down
+        self._note_fault_counters(wasted, retries, aborts)
+        return RoundTraffic(up, down, wasted, retries, aborts)
+
+    def _robust_client_round(self, client, state, version, per_client):
+        """Run one client with timeout/retry/backoff; returns the outcome."""
+        policy, injector, clock = self.policy, self.injector, self.clock
+        result = {"state": None, "weight": 0, "up": 0, "down": 0,
+                  "wasted": 0, "retries": 0}
+        round_index = self._round_index
+        cid = client.client_id
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                result["retries"] += 1
+                clock.advance(policy.backoff_s(attempt))
+            if not injector.link_available(clock.now):
+                # Metered-link window: the device cannot even be reached.
+                # The probe still costs a wait, so the simulation always
+                # makes progress toward the window's end.
+                clock.advance(max(policy.backoff_base_s, 1.0))
+                continue
+            down_s = self._link_seconds(per_client)
+            if not np.isfinite(down_s):
+                continue
+            compute_s = policy.base_compute_s * injector.straggler_factor(
+                round_index, cid, attempt)
+            if compute_s > policy.straggler_cutoff_s:
+                # Known straggler: cut it off right after the download.
+                clock.advance(down_s)
+                result["wasted"] += per_client
+                continue
+            up_s = self._link_seconds(per_client)
+            attempt_s = down_s + compute_s + up_s
+            if attempt_s > policy.timeout_s:
+                clock.advance(policy.timeout_s)
+                result["wasted"] += per_client
+                continue
+            if injector.drops_out(round_index, cid, attempt):
+                # Device went dark after the download; server waits it out.
+                clock.advance(policy.timeout_s)
+                result["wasted"] += per_client
+                continue
+            staleness = injector.staleness(round_index, cid, attempt)
+            train_state = state
+            if staleness:
+                stale = self._stale_state(version, staleness)
+                if stale is None:
+                    staleness = 0  # history too short: the download is fresh
+                else:
+                    train_state = stale
+            if staleness > policy.max_staleness:
+                # The upload arrives but is too old to use: full round trip
+                # delivered, then rejected; the server may re-request.
+                clock.advance(attempt_s)
+                result["up"] += per_client
+                result["down"] += per_client
+                result["wasted"] += 2 * per_client
+                continue
+            if injector.corrupts(round_index, cid, attempt):
+                # Garbage arrives in place of the trained weights; validation
+                # rejects it and the server may re-request.
+                clock.advance(attempt_s)
+                upload = injector.corrupt(train_state, round_index, cid, attempt)
+                result["up"] += per_client
+                result["down"] += per_client
+                if update_is_corrupt(upload):
+                    result["wasted"] += 2 * per_client
+                continue
+            new_state, count = client.local_train(
+                train_state, epochs=self.local_epochs,
+                batch_size=self.batch_size, lr=self.lr,
+                momentum=self.momentum,
+            )
+            if injector.upload_lost(round_index, cid, attempt):
+                clock.advance(attempt_s)
+                result["wasted"] += 2 * per_client
+                continue
+            clock.advance(attempt_s)
+            result["up"] += per_client
+            result["down"] += per_client
+            result["state"] = new_state
+            result["weight"] = count
+            return result
+        return result
+
+    def _link_seconds(self, num_bytes):
+        if self.link is None:
+            return 0.0
+        if hasattr(self.link, "available_at"):
+            return self.link.transfer_seconds(num_bytes, at=self.clock.now)
+        return self.link.transfer_seconds(num_bytes)
+
+    def _remember_broadcast(self, version, state):
+        """Keep recent broadcasts so stale clients can train on old state."""
+        spec = getattr(self.injector, "spec", None)
+        horizon = max(self.policy.max_staleness,
+                      getattr(spec, "max_injected_staleness", 0)) + 1
+        self._state_history.append((version, state))
+        del self._state_history[:-horizon]
+
+    def _stale_state(self, current_version, staleness):
+        if staleness <= 0:
+            return None
+        wanted = current_version - staleness
+        for version, state in self._state_history:
+            if version == wanted:
+                return state
+        return None
+
+    @staticmethod
+    def _note_fault_counters(wasted, retries, aborts):
+        from .. import profiler
+
+        if retries:
+            profiler.record_event("federated/retries", retries)
+        if aborts:
+            profiler.record_event("federated/round-aborts", aborts)
+        if wasted:
+            profiler.record_bytes("federated/wasted-bytes", wasted)

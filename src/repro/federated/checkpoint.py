@@ -1,0 +1,139 @@
+"""Round checkpoint/resume for the federated training loops.
+
+A checkpoint captures everything a loop needs to continue *bit-for-bit*
+as if it had never stopped:
+
+* the global model state and its aggregation version,
+* the loop's client-sampling RNG and every client's local RNG,
+* fleet-device RNGs when an availability fleet is attached,
+* the simulated clock and broadcast-state history of the fault-tolerant
+  path, and
+* the communication ledger and accuracy records accumulated so far.
+
+Fault schedules themselves need no state here: :mod:`repro.faults` keys
+every decision off ``(seed, round, client, attempt)``, so they replay for
+free.  The format is a single ``.npz`` (arrays) with one JSON metadata
+entry — no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict
+
+import numpy as np
+
+from .comm import CommunicationLedger
+
+__all__ = ["save_checkpoint", "load_checkpoint", "generator_state",
+           "restore_generator"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def generator_state(rng):
+    """JSON-serialisable state of a :class:`numpy.random.Generator`."""
+    return rng.bit_generator.state
+
+
+def restore_generator(rng, state):
+    """Restore a generator snapshot taken by :func:`generator_state`."""
+    rng.bit_generator.state = state
+
+
+def _client_rng_states(clients):
+    states = {}
+    for client in clients:
+        if hasattr(client, "rng_state"):
+            states[str(client.client_id)] = client.rng_state()
+        elif hasattr(client, "rng"):
+            states[str(client.client_id)] = generator_state(client.rng)
+    return states
+
+
+def _restore_client_rngs(clients, states):
+    for client in clients:
+        state = states.get(str(client.client_id))
+        if state is None:
+            continue
+        if hasattr(client, "set_rng_state"):
+            client.set_rng_state(state)
+        elif hasattr(client, "rng"):
+            restore_generator(client.rng, state)
+
+
+def save_checkpoint(path, loop, history, round_index):
+    """Write the loop's full resumable state after ``round_index``."""
+    meta = {
+        "round_index": int(round_index),
+        "server_version": int(loop.server.version),
+        "loop_rng": generator_state(loop.rng),
+        "client_rngs": _client_rng_states(loop.clients),
+        "ledger": history.ledger.to_dict(),
+        "records": [asdict(record) for record in history.records],
+    }
+    clock = getattr(loop, "clock", None)
+    if clock is not None:
+        meta["clock_now"] = float(clock.now)
+    fleet = getattr(loop, "fleet", None)
+    if fleet is not None and hasattr(fleet, "rng_states"):
+        meta["fleet_rngs"] = fleet.rng_states()
+
+    arrays = OrderedDict(
+        ("state/{}".format(name), value) for name, value in loop.server.state.items()
+    )
+    hist = getattr(loop, "_state_history", None)
+    if hist:
+        meta["history_versions"] = [int(version) for version, _ in hist]
+        for index, (_, state) in enumerate(hist):
+            for name, value in state.items():
+                arrays["hist{}/{}".format(index, name)] = value
+
+    tmp = "{}.tmp".format(path)
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **{_META_KEY: np.array(json.dumps(meta))},
+                            **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path, loop, history):
+    """Restore ``loop``/``history`` in place; returns the completed round.
+
+    ``loop`` must be configured identically to the run that wrote the
+    checkpoint (same clients, model factory, policies, and seeds) — the
+    checkpoint restores mutable state, not configuration.
+    """
+    from .algorithms import RoundRecord
+
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive[_META_KEY][()]))
+        server_state = OrderedDict(
+            (name, archive["state/{}".format(name)].copy())
+            for name in loop.server.state
+        )
+        history_states = []
+        for index, version in enumerate(meta.get("history_versions", [])):
+            prefix = "hist{}/".format(index)
+            state = OrderedDict(
+                (name, archive[prefix + name].copy()) for name in loop.server.state
+            )
+            history_states.append((int(version), state))
+
+    loop.server.state = server_state
+    loop.server.version = int(meta["server_version"])
+    restore_generator(loop.rng, meta["loop_rng"])
+    _restore_client_rngs(loop.clients, meta.get("client_rngs", {}))
+    if "clock_now" in meta and getattr(loop, "clock", None) is not None:
+        loop.clock.now = float(meta["clock_now"])
+    fleet = getattr(loop, "fleet", None)
+    if "fleet_rngs" in meta and fleet is not None and hasattr(fleet, "set_rng_states"):
+        fleet.set_rng_states(meta["fleet_rngs"])
+    if hasattr(loop, "_state_history"):
+        loop._state_history = history_states
+
+    history.ledger = CommunicationLedger.from_dict(meta["ledger"])
+    history.records = [RoundRecord(**record) for record in meta["records"]]
+    return int(meta["round_index"])

@@ -39,6 +39,18 @@ class FederatedClient:
     def num_samples(self):
         return len(self.dataset)
 
+    # ------------------------------------------------------------------
+    # Checkpoint support: the local generator advances every round, so
+    # bit-exact resume must capture and restore it.
+    # ------------------------------------------------------------------
+    def rng_state(self):
+        """JSON-serialisable snapshot of the local batch-sampling RNG."""
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state):
+        """Restore a snapshot taken by :meth:`rng_state`."""
+        self.rng.bit_generator.state = state
+
     def compute_gradient(self, state, batch_size=None):
         """One full gradient at ``state`` (the FedSGD client step).
 

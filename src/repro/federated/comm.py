@@ -3,16 +3,26 @@
 The headline claim reproduced from Sec. II-B is that federated averaging
 "is able to use 10-100x less communication compared to a naively
 distributed SGD" — which makes byte-level bookkeeping a first-class
-citizen of the simulation.
+citizen of the simulation.  Under fault injection (:mod:`repro.faults`)
+the ledger additionally tracks *wasted* bytes — traffic spent on
+attempts that timed out, were lost mid-upload, or were rejected by the
+server — plus retry and abort counters, so the cost of unreliability is
+as visible as the cost of success.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
-__all__ = ["CommunicationLedger", "state_bytes", "sparse_update_bytes"]
+__all__ = [
+    "CommunicationLedger",
+    "RoundTraffic",
+    "state_bytes",
+    "sparse_update_bytes",
+]
 
 BYTES_PER_VALUE = 4   # updates are shipped as float32
 BYTES_PER_INDEX = 4   # sparse updates carry an int32 coordinate per value
@@ -28,19 +38,47 @@ def sparse_update_bytes(num_values):
     return int(num_values * (BYTES_PER_VALUE + BYTES_PER_INDEX))
 
 
+class RoundTraffic(NamedTuple):
+    """One round's traffic record.
+
+    A tuple subclass so legacy callers indexing ``rounds[i][0]`` /
+    ``rounds[i][1]`` (up, down) keep working.
+    """
+
+    up: int
+    down: int
+    wasted: int = 0
+    retries: int = 0
+    aborts: int = 0
+
+
 @dataclass
 class CommunicationLedger:
-    """Accumulates per-round uplink/downlink traffic."""
+    """Accumulates per-round uplink/downlink traffic and fault overhead."""
 
     uplink_bytes: int = 0
     downlink_bytes: int = 0
+    wasted_bytes: int = 0
+    retries: int = 0
+    aborts: int = 0
     rounds: list = field(default_factory=list)
 
-    def record_round(self, up, down):
-        """Log one round's traffic and update the running totals."""
-        self.uplink_bytes += int(up)
-        self.downlink_bytes += int(down)
-        self.rounds.append((int(up), int(down)))
+    def record_round(self, up, down, wasted=0, retries=0, aborts=0):
+        """Log one round's traffic and update the running totals.
+
+        ``wasted`` bytes are traffic that bought nothing: failed attempts,
+        lost uploads, and server-rejected (corrupt/stale) updates.  They
+        are *not* included in ``up``/``down`` unless the transfer actually
+        completed end-to-end.
+        """
+        record = RoundTraffic(int(up), int(down), int(wasted),
+                              int(retries), int(aborts))
+        self.uplink_bytes += record.up
+        self.downlink_bytes += record.down
+        self.wasted_bytes += record.wasted
+        self.retries += record.retries
+        self.aborts += record.aborts
+        self.rounds.append(record)
 
     @property
     def total_bytes(self):
@@ -48,3 +86,34 @@ class CommunicationLedger:
 
     def total_megabytes(self):
         return self.total_bytes / 1e6
+
+    def wasted_fraction(self):
+        """Wasted bytes relative to all bytes put on the wire."""
+        moved = self.total_bytes + self.wasted_bytes
+        return self.wasted_bytes / moved if moved else 0.0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-serialisable snapshot (see :mod:`repro.federated.checkpoint`)."""
+        return {
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "wasted_bytes": self.wasted_bytes,
+            "retries": self.retries,
+            "aborts": self.aborts,
+            "rounds": [list(r) for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        ledger = cls(
+            uplink_bytes=int(data["uplink_bytes"]),
+            downlink_bytes=int(data["downlink_bytes"]),
+            wasted_bytes=int(data.get("wasted_bytes", 0)),
+            retries=int(data.get("retries", 0)),
+            aborts=int(data.get("aborts", 0)),
+        )
+        ledger.rounds = [RoundTraffic(*r) for r in data.get("rounds", [])]
+        return ledger

@@ -18,7 +18,7 @@ from ..nn import losses
 from ..optim import SGD
 from ..tensor import Tensor, no_grad
 from .comm import CommunicationLedger, sparse_update_bytes
-from .algorithms import FederatedHistory, RoundRecord
+from .algorithms import FederatedHistory, RobustnessPolicy, RoundRecord
 
 __all__ = ["SelectiveSGDParticipant", "DistributedSelectiveSGD"]
 
@@ -118,7 +118,7 @@ class DistributedSelectiveSGD:
     """Round-robin driver for the selective-SGD protocol (Fig. 1)."""
 
     def __init__(self, participants, model_fn, upload_fraction=0.1,
-                 download_fraction=0.1, seed=0):
+                 download_fraction=0.1, seed=0, injector=None, policy=None):
         if not participants:
             raise ValueError("need at least one participant")
         if not 0.0 < upload_fraction <= 1.0:
@@ -130,30 +130,105 @@ class DistributedSelectiveSGD:
         self.upload_fraction = upload_fraction
         self.download_fraction = download_fraction
         self.rng = np.random.default_rng(seed)
+        self.injector = injector
+        self.policy = policy or RobustnessPolicy()
+        self.clock = None
+        if injector is not None:
+            from ..faults import SimulatedClock
+
+            self.clock = SimulatedClock()
+
+    def _faithful_participant_round(self, participant, batch_size):
+        """The fault-free protocol step: download, refresh, train, upload."""
+        indices, values = self.server.download(self.download_fraction, self.rng)
+        participant.refresh(indices, values)
+        down = sparse_update_bytes(len(indices))
+        delta = participant.train_epoch(batch_size=batch_size)
+        upload_idx, upload_val = participant.select_upload(
+            delta, self.upload_fraction
+        )
+        self.server.upload(upload_idx, upload_val)
+        return {"up": sparse_update_bytes(len(upload_idx)), "down": down}
+
+    def _robust_participant_round(self, participant, round_index, batch_size):
+        """The protocol step under fault injection with retry + backoff.
+
+        The participant's local model keeps whatever training it managed
+        even when its upload never lands (it owns the model in this
+        protocol); only the *upload* is retried once training succeeded.
+        Corrupted uploads are rejected by the server's finite-value check.
+        """
+        policy, injector, clock = self.policy, self.injector, self.clock
+        pid = participant.participant_id
+        up = down = wasted = retries = 0
+        upload_idx = upload_val = None
+        delivered = False
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                retries += 1
+                clock.advance(policy.backoff_s(attempt))
+            if not injector.link_available(clock.now):
+                continue
+            if upload_idx is None:
+                # Still need to download + train.
+                indices, values = self.server.download(
+                    self.download_fraction, self.rng
+                )
+                down_bytes = sparse_update_bytes(len(indices))
+                if injector.drops_out(round_index, pid, attempt):
+                    wasted += down_bytes
+                    continue
+                participant.refresh(indices, values)
+                down += down_bytes
+                delta = participant.train_epoch(batch_size=batch_size)
+                upload_idx, upload_val = participant.select_upload(
+                    delta, self.upload_fraction
+                )
+            up_bytes = sparse_update_bytes(len(upload_idx))
+            if injector.upload_lost(round_index, pid, attempt):
+                wasted += up_bytes
+                continue
+            if injector.corrupts(round_index, pid, attempt):
+                # The values arrive mangled; the server refuses them.
+                up += up_bytes
+                wasted += up_bytes
+                continue
+            self.server.upload(upload_idx, upload_val)
+            up += up_bytes
+            delivered = True
+            break
+        return {"up": up, "down": down, "wasted": wasted, "retries": retries,
+                "aborts": 0 if delivered else 1}
 
     def run(self, num_rounds, eval_data, batch_size=32, eval_every=1):
         """Run rounds in which every participant downloads, trains, uploads.
 
         Evaluation reports the *average* participant accuracy, since each
-        participant ends with its own model in this protocol.
+        participant ends with its own model in this protocol.  With an
+        injector attached, each participant gets the retry/backoff policy;
+        an ``abort`` counts a participant whose upload never landed that
+        round (there is no round commit to quorum-gate here — the server
+        is updated incrementally).
         """
         history = FederatedHistory()
         features, labels = eval_data
         for round_index in range(1, num_rounds + 1):
-            up = down = 0
+            up = down = wasted = retries = aborts = 0
             for participant in self.participants:
-                indices, values = self.server.download(
-                    self.download_fraction, self.rng
-                )
-                participant.refresh(indices, values)
-                down += sparse_update_bytes(len(indices))
-                delta = participant.train_epoch(batch_size=batch_size)
-                upload_idx, upload_val = participant.select_upload(
-                    delta, self.upload_fraction
-                )
-                self.server.upload(upload_idx, upload_val)
-                up += sparse_update_bytes(len(upload_idx))
-            history.ledger.record_round(up, down)
+                if self.injector is None:
+                    traffic = self._faithful_participant_round(
+                        participant, batch_size
+                    )
+                else:
+                    traffic = self._robust_participant_round(
+                        participant, round_index, batch_size
+                    )
+                up += traffic["up"]
+                down += traffic["down"]
+                wasted += traffic.get("wasted", 0)
+                retries += traffic.get("retries", 0)
+                aborts += traffic.get("aborts", 0)
+            history.ledger.record_round(up, down, wasted, retries, aborts)
             if round_index % eval_every == 0 or round_index == num_rounds:
                 accuracies = [
                     p.evaluate(features, labels) for p in self.participants

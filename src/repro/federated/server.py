@@ -6,7 +6,20 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["ParameterServer"]
+__all__ = ["ParameterServer", "QuorumError", "update_is_corrupt"]
+
+
+class QuorumError(RuntimeError):
+    """Raised when fewer updates survive a round than the quorum requires."""
+
+
+def update_is_corrupt(update):
+    """Whether any array in a (state or gradient) dict carries NaN/inf.
+
+    Server-side validation for fault-injected rounds: a corrupted upload
+    must never poison the aggregate.
+    """
+    return any(not np.isfinite(np.asarray(v)).all() for v in update.values())
 
 
 class ParameterServer:
@@ -18,15 +31,24 @@ class ParameterServer:
       (the "naively distributed SGD" rule);
     * :meth:`average_states` — w_{t+1} <- sum_k (n_k/n) w_{t+1}^k
       (the FedAvg rule over locally trained weights).
+
+    ``version`` counts committed aggregations; clients echo the version
+    they trained against so :meth:`accepts_staleness` can reject updates
+    computed on a model that has since moved on.
     """
 
     def __init__(self, model_fn):
         self.model_fn = model_fn
         self.state = model_fn().state_dict()
+        self.version = 0
 
     def broadcast(self):
         """A copy of the current global state for download."""
         return OrderedDict((k, v.copy()) for k, v in self.state.items())
+
+    def accepts_staleness(self, update_version, max_staleness=0):
+        """Whether an update trained at ``update_version`` is still usable."""
+        return (self.version - int(update_version)) <= int(max_staleness)
 
     def apply_gradients(self, gradients, weights, lr):
         """Apply the sample-weighted average of client gradients."""
@@ -38,9 +60,20 @@ class ParameterServer:
                 (w / total) * g[name] for g, w in zip(gradients, weights)
             )
             self.state[name] = self.state[name] - lr * combined
+        self.version += 1
 
-    def average_states(self, states, weights):
-        """Replace the global state with the weighted client average."""
+    def average_states(self, states, weights, min_quorum=None):
+        """Replace the global state with the weighted client average.
+
+        With ``min_quorum`` set, a partial aggregation over fewer than
+        that many client states raises :class:`QuorumError` and leaves
+        the global model untouched — the fault-tolerant loops skip the
+        round rather than commit a low-confidence average.
+        """
+        if min_quorum is not None and len(states) < min_quorum:
+            raise QuorumError(
+                "only {} of the required {} updates survived the round".format(
+                    len(states), min_quorum))
         total = float(sum(weights))
         if total <= 0:
             raise ValueError("total client weight must be positive")
@@ -50,12 +83,14 @@ class ParameterServer:
                 (w / total) * s[name] for s, w in zip(states, weights)
             )
         self.state = new_state
+        self.version += 1
 
     def apply_sparse_update(self, indices, values):
         """Add sparse (flat-index, value) contributions (selective SGD)."""
         flat = self._flatten()
         flat[indices] += values
         self._unflatten(flat)
+        self.version += 1
 
     def evaluate(self, features, labels):
         """Accuracy of the current global model on the given arrays."""

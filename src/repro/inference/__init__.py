@@ -8,6 +8,7 @@ from .deploy import (
     cost_on_cloud,
     cost_on_device,
     cost_split,
+    plan_with_fallback,
 )
 from .private import (
     NoisyTrainer,
@@ -24,6 +25,7 @@ __all__ = [
     "cost_on_cloud",
     "cost_on_device",
     "cost_split",
+    "plan_with_fallback",
     "NoisyTrainer",
     "PrivateInferencePipeline",
     "PrivateLocalTransformer",

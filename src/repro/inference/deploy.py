@@ -16,7 +16,8 @@ from ..mobile.cost import ModelCostProfile
 from ..mobile.simulator import ExecutionCost, estimate_execution, estimate_transfer
 
 __all__ = ["DeploymentReport", "cost_on_device", "cost_on_cloud",
-           "cost_split", "best_split", "compare_strategies"]
+           "cost_split", "best_split", "compare_strategies",
+           "plan_with_fallback"]
 
 
 @dataclass
@@ -27,8 +28,19 @@ class DeploymentReport:
     cost: ExecutionCost
     split_index: int = -1
 
+    @property
+    def feasible(self):
+        """False when the strategy needs a link that cannot move bytes."""
+        return self.cost.feasible
+
     def row(self):
         """Formatted table row (strategy, latency ms, energy mJ, KB moved)."""
+        if not self.feasible:
+            return "{:<18} {:>10} {:>10.3f} {:>9.1f}".format(
+                self.strategy, "offline",
+                self.cost.device_energy_j * 1e3,
+                (self.cost.bytes_up + self.cost.bytes_down) / 1e3,
+            )
         return "{:<18} {:>10.2f} {:>10.3f} {:>9.1f}".format(
             self.strategy,
             self.cost.latency_s * 1e3,
@@ -81,15 +93,28 @@ def best_split(profile, device, cloud, link, objective="latency",
     for index in profile.cut_points():
         report = cost_split(profile, device, cloud, link, index,
                             result_bytes=result_bytes)
+        if not report.feasible:
+            # A dead link rules out every cut that crosses it; the
+            # all-device cut stays feasible and wins by default.
+            continue
         key = (report.cost.latency_s if objective == "latency"
                else report.cost.device_energy_j)
         if best_report is None or key < best_report[0]:
             best_report = (key, report)
+    if best_report is None:
+        # Degenerate: even the all-device cut was infeasible (empty
+        # profile over a dead link) — fall back to pure on-device.
+        return cost_on_device(profile, device)
     return best_report[1]
 
 
 def compare_strategies(profile, device, cloud, link, result_bytes=64):
-    """All strategies side by side; returns a list of DeploymentReport."""
+    """All strategies side by side; returns a list of DeploymentReport.
+
+    Strategies that need a dead link come back with ``feasible=False``
+    (infinite latency) rather than being dropped, so tables still show
+    every row.
+    """
     reports = [
         cost_on_device(profile, device),
         cost_on_cloud(profile, device, cloud, link, result_bytes=result_bytes),
@@ -97,3 +122,38 @@ def compare_strategies(profile, device, cloud, link, result_bytes=64):
                    result_bytes=result_bytes),
     ]
     return reports
+
+
+def plan_with_fallback(profile, device, cloud, link, objective="latency",
+                       result_bytes=64, at=None):
+    """Best feasible strategy *right now*, falling back to on-device.
+
+    The runtime counterpart of :func:`compare_strategies`: when the cloud
+    link is faulted — offline, zero-bandwidth, or inside one of a
+    :class:`repro.faults.FaultyLink`'s unavailability windows at time
+    ``at`` — inference degrades to fully on-device instead of stalling on
+    an infinite transfer.
+    """
+    if at is not None and hasattr(link, "available_at"):
+        base = getattr(link, "base", link)
+        usable = link.available_at(at) and getattr(base, "usable", True)
+    else:
+        usable = getattr(link, "usable", None)
+        if usable is None:
+            usable = link.available and link.bandwidth_mbps > 0
+    if not usable:
+        report = cost_on_device(profile, device)
+        return DeploymentReport("on-device(fallback)", report.cost,
+                                split_index=report.split_index)
+    candidates = [
+        cost_on_device(profile, device),
+        cost_on_cloud(profile, device, cloud, link, result_bytes=result_bytes),
+        best_split(profile, device, cloud, link, objective=objective,
+                   result_bytes=result_bytes),
+    ]
+    feasible = [report for report in candidates if report.feasible]
+    if not feasible:
+        return cost_on_device(profile, device)
+    key = (lambda r: r.cost.latency_s) if objective == "latency" else (
+        lambda r: r.cost.device_energy_j)
+    return min(feasible, key=key)

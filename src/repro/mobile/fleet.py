@@ -83,6 +83,25 @@ class FleetSimulator:
             for i in range(num_devices)
         ]
 
+    # ------------------------------------------------------------------
+    # Checkpoint support: device generators advance on every state_at()
+    # call, so a resumed federated run must restore them to replay the
+    # same availability draws (see repro.federated.checkpoint).
+    # ------------------------------------------------------------------
+    def rng_states(self):
+        """JSON-serialisable per-device RNG snapshots."""
+        return {
+            str(device.device_id): device.rng.bit_generator.state
+            for device in self.devices
+        }
+
+    def set_rng_states(self, states):
+        """Restore snapshots taken by :meth:`rng_states`."""
+        for device in self.devices:
+            state = states.get(str(device.device_id))
+            if state is not None:
+                device.rng.bit_generator.state = state
+
     def eligible_at(self, hour, min_battery=0.2):
         """IDs of devices satisfying the eligibility policy at ``hour``."""
         return [

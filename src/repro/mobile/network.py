@@ -21,12 +21,25 @@ class NetworkLink:
     metered: bool = False
     available: bool = True
 
+    @property
+    def usable(self):
+        """Whether the link can move bytes at all (up *and* has bandwidth)."""
+        return self.available and self.bandwidth_mbps > 0
+
     def transfer_seconds(self, num_bytes):
-        """Time to move ``num_bytes`` including one round trip of latency."""
-        if not self.available:
-            return float("inf")
+        """Time to move ``num_bytes`` including one round trip of latency.
+
+        Returns ``inf`` for a link that cannot move bytes — callers that
+        sum or compare link times must treat non-finite results as "this
+        path is infeasible" (see :meth:`repro.mobile.ExecutionCost.feasible`),
+        never feed them into byte/energy accounting.  Argument validation
+        happens before the availability check so a negative size is always
+        an error, offline or not.
+        """
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
+        if not self.usable:
+            return float("inf")
         return self.rtt_ms / 1000.0 + (num_bytes * 8) / (self.bandwidth_mbps * 1e6)
 
     def transmit_energy_joules(self, num_bytes, device):

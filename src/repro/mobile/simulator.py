@@ -9,6 +9,7 @@ split-inference planner.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["ExecutionCost", "estimate_execution", "estimate_transfer"]
@@ -22,6 +23,11 @@ class ExecutionCost:
     device_energy_j: float = 0.0
     bytes_up: int = 0
     bytes_down: int = 0
+
+    @property
+    def feasible(self):
+        """Whether this plan can actually run (no infinite transfer leg)."""
+        return math.isfinite(self.latency_s)
 
     def __add__(self, other):
         return ExecutionCost(
@@ -63,8 +69,16 @@ def estimate_execution(profile, device):
 
 
 def estimate_transfer(num_bytes, link, device, upload=True):
-    """Cost of moving ``num_bytes`` over ``link`` from/to ``device``."""
+    """Cost of moving ``num_bytes`` over ``link`` from/to ``device``.
+
+    A dead link (``transfer_seconds`` is ``inf``) moves nothing: the cost
+    is infeasible (infinite latency) with zero radio energy and zero bytes
+    — the bytes never leave the device, so they must not leak into energy
+    or traffic accounting downstream.
+    """
     seconds = link.transfer_seconds(num_bytes)
+    if not math.isfinite(seconds):
+        return ExecutionCost(latency_s=float("inf"))
     if upload:
         energy = link.transmit_energy_joules(num_bytes, device)
         return ExecutionCost(latency_s=seconds, device_energy_j=energy,

@@ -22,6 +22,7 @@ from .core import (
     is_enabled,
     profile,
     record_bytes,
+    record_event,
     report,
     reset,
     timer,
@@ -34,6 +35,7 @@ __all__ = [
     "is_enabled",
     "profile",
     "record_bytes",
+    "record_event",
     "report",
     "reset",
     "timer",

@@ -34,6 +34,7 @@ __all__ = [
     "profile",
     "timer",
     "record_bytes",
+    "record_event",
     "get_stats",
     "report",
 ]
@@ -61,6 +62,7 @@ class _State:
     modules = OrderedDict()    # module class name -> _TimeStat
     timers = OrderedDict()     # scope label -> _TimeStat
     extra_bytes = OrderedDict()  # label -> int (manual byte accounting)
+    events = OrderedDict()     # label -> int (retries, aborts, faults, ...)
 
 
 def _op_name(backward):
@@ -124,6 +126,7 @@ def reset():
     _State.modules = OrderedDict()
     _State.timers = OrderedDict()
     _State.extra_bytes = OrderedDict()
+    _State.events = OrderedDict()
 
 
 @contextmanager
@@ -167,6 +170,16 @@ def record_bytes(label, count):
     _State.extra_bytes[label] = _State.extra_bytes.get(label, 0) + int(count)
 
 
+def record_event(label, count=1):
+    """Count a discrete occurrence under ``label`` (e.g. a retry or abort).
+
+    Like :func:`record_bytes`, this records regardless of :func:`enable`
+    so fault-tolerance layers can account retries without the engine
+    hooks switched on.
+    """
+    _State.events[label] = _State.events.get(label, 0) + int(count)
+
+
 def get_stats():
     """Snapshot of every counter as plain dicts (JSON-serialisable)."""
     return {
@@ -183,6 +196,7 @@ def get_stats():
             for label, s in _State.timers.items()
         },
         "extra_bytes": dict(_State.extra_bytes),
+        "events": dict(_State.events),
     }
 
 
@@ -233,6 +247,10 @@ def report():
         lines.append("byte counters")
         for label, count in _State.extra_bytes.items():
             lines.append("  {:<24} {:>12}".format(label, _format_bytes(count)))
+    if _State.events:
+        lines.append("event counters")
+        for label, count in _State.events.items():
+            lines.append("  {:<24} {:>12}".format(label, count))
     if not lines:
         return "(profiler: nothing recorded)"
     return "\n".join(lines)

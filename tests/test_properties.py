@@ -1,5 +1,7 @@
 """Property-based tests (Hypothesis) for core invariants."""
 
+import io
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -7,6 +9,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 import repro.tensor as T
+from repro import nn
 from repro.compression import (
     HuffmanCode,
     circulant_matrix,
@@ -17,6 +20,7 @@ from repro.compression import (
     uniform_quantize,
 )
 from repro.data import accuracy, confusion_matrix, f1_score, pad_sequences
+from repro.nn import load_model, save_model, state_dict_size_bytes
 from repro.privacy import MomentsAccountant, clip_by_l2, rdp_subsampled_gaussian
 from repro.synth import iid_partition, shard_partition
 from repro.tensor import Tensor, unbroadcast
@@ -123,6 +127,114 @@ class TestHuffmanProperties:
         alphabet = len(set(symbols))
         fixed_width = max(int(np.ceil(np.log2(max(alphabet, 2)))), 1)
         assert nbits <= len(symbols) * max(fixed_width, 1) + alphabet
+
+
+class TestHuffmanEdgeCases:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_encode([])
+
+    def test_single_symbol_stream(self):
+        packed, nbits, code = huffman_encode([7])
+        assert nbits == 1
+        assert huffman_decode(packed, nbits, code) == [7]
+
+    def test_single_symbol_repeated(self):
+        packed, nbits, code = huffman_encode([3] * 64)
+        assert nbits == 64
+        assert huffman_decode(packed, nbits, code) == [3] * 64
+
+    @given(st.lists(st.integers(min_value=-128, max_value=127), min_size=1,
+                    max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_with_reused_code(self, symbols):
+        """A code built once decodes any stream drawn from its alphabet."""
+        _, _, code = huffman_encode(symbols)
+        shuffled = list(reversed(symbols))
+        packed, nbits, _ = huffman_encode(shuffled, code=code)
+        assert huffman_decode(packed, nbits, code) == shuffled
+
+    def test_truncated_stream_detected(self):
+        packed, nbits, code = huffman_encode([0, 1, 2, 3, 4, 5, 0, 1])
+        if nbits > 1:
+            with pytest.raises(ValueError):
+                huffman_decode(packed, nbits - 1, code)
+
+
+def _serialization_model():
+    """Mixed parameters and buffers so both round-trip paths are hit."""
+    rng = np.random.default_rng(0)
+    return nn.Sequential(nn.Linear(6, 5, rng=rng), nn.BatchNorm1d(5),
+                         nn.Linear(5, 3, rng=rng))
+
+
+class TestSerializationProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_roundtrip_random_state(self, seed, dtype):
+        with T.default_dtype(dtype):
+            model = _serialization_model()
+            rng = np.random.default_rng(seed)
+            noisy = {
+                name: rng.normal(size=value.shape).astype(value.dtype)
+                for name, value in model.state_dict().items()
+            }
+            model.load_state_dict(noisy)
+            buffer = io.BytesIO()
+            save_model(model, buffer)
+            buffer.seek(0)
+            restored = load_model(_serialization_model(), buffer)
+        for name, value in model.state_dict().items():
+            other = restored.state_dict()[name]
+            assert other.dtype == value.dtype
+            assert np.array_equal(other, value)
+
+    @given(st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=10, deadline=None)
+    def test_size_accounting_matches_dtype(self, dtype):
+        with T.default_dtype(dtype):
+            model = _serialization_model()
+        expected = sum(v.nbytes for v in model.state_dict().values())
+        assert state_dict_size_bytes(model) == expected
+
+    def test_empty_state_dict_roundtrip(self):
+        model = nn.Sequential()  # no parameters, no buffers
+        assert model.state_dict() == {}
+        buffer = io.BytesIO()
+        save_model(model, buffer)
+        buffer.seek(0)
+        load_model(nn.Sequential(), buffer)
+        assert state_dict_size_bytes(model) == 0
+
+    def test_single_element_state_dict_roundtrip(self, tmp_path):
+        path = str(tmp_path / "one.npz")
+
+        def tiny():
+            return nn.Linear(1, 1, bias=False, rng=np.random.default_rng(3))
+
+        model = tiny()
+        model.load_state_dict({"weight": np.array([[2.5]])})
+        save_model(model, path)
+        restored = load_model(tiny(), path)
+        assert np.array_equal(restored.state_dict()["weight"],
+                              np.array([[2.5]]))
+
+    def test_shape_mismatch_rejected(self):
+        buffer = io.BytesIO()
+        save_model(nn.Linear(4, 2, rng=np.random.default_rng(0)), buffer)
+        buffer.seek(0)
+        with pytest.raises(ValueError):
+            load_model(nn.Linear(3, 2, rng=np.random.default_rng(0)), buffer)
+
+    def test_missing_parameter_rejected(self):
+        buffer = io.BytesIO()
+        save_model(nn.Linear(4, 2, bias=False, rng=np.random.default_rng(0)),
+                   buffer)
+        buffer.seek(0)
+        with pytest.raises(KeyError):
+            load_model(nn.Linear(4, 2, bias=True,
+                                 rng=np.random.default_rng(0)), buffer)
 
 
 class TestPrivacyProperties:
