@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit bench-smoke bench
 
-check: test lint sanitize-check chaos-check bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -29,6 +29,15 @@ sanitize-check:
 # offline-link and checkpoint/resume regressions.  Fully deterministic.
 chaos-check:
 	python -m pytest tests/test_faults.py tests/test_federated_chaos.py -q
+
+# Privacy gate: the five DP-invariant lint rules over the library, then
+# the independent budget auditor recomputing epsilon for the builtin
+# certificate table (inline `repro-lint: allow[dp-*]` waivers apply).
+privacy-audit:
+	python -m repro.analysis.lint src tests \
+		--rule dp-fixed-seed --rule dp-shared-rng --rule dp-noise-scale \
+		--rule dp-unaccounted-release --rule dp-epsilon-no-delta
+	python -m repro.analysis.privacy audit --builtin
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

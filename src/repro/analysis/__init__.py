@@ -21,7 +21,15 @@ supplies the tooling that proves graph and numeric hygiene the way
 * :mod:`repro.analysis.lint` — AST-based repo lint
   (``python -m repro.analysis.lint src tests``): bans global
   ``np.random.*``, raw float dtype literals, ``.data`` mutation outside
-  ``optim/``, and Python loops in hot-kernel files.
+  ``optim/``, Python loops in hot-kernel files, and five DP-invariant
+  rules in ``privacy-critical`` files;
+* :mod:`repro.analysis.privacy` — privacy-flow analysis: taint tracking
+  over the tensor engine (:func:`~repro.analysis.privacy.trace_privacy`
+  flags egress of un-noised private data), machine-readable
+  :class:`~repro.analysis.privacy.PrivacyCertificate` claims from the DP
+  trainers, and an independent budget auditor
+  (``python -m repro.analysis.privacy audit``) that recomputes epsilon
+  from scratch and cross-checks the accountant ledger.
 """
 
 from .graph import (
@@ -43,6 +51,25 @@ from .shapes import (
 )
 from .sanitize import MutationError, NumericError, sanitize
 
+# The privacy layer is exported lazily (PEP 562): it pulls in the tensor
+# engine, the DP trainers, and scipy, and eagerly importing it here would
+# also shadow `python -m repro.analysis.lint` (the package import would
+# load repro.analysis.lint before runpy executes it).
+_PRIVACY_EXPORTS = frozenset({
+    "Label", "TaintTracker", "PrivacyFlowReport", "trace_privacy",
+    "PrivacyCertificate", "CertificateError", "AuditResult", "AuditError",
+    "audit_certificate",
+})
+
+
+def __getattr__(name):
+    if name in _PRIVACY_EXPORTS:
+        from . import privacy
+        return getattr(privacy, name)
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name))
+
+
 __all__ = [
     "Finding",
     "GraphReport",
@@ -60,4 +87,13 @@ __all__ = [
     "MutationError",
     "NumericError",
     "sanitize",
+    "Label",
+    "TaintTracker",
+    "PrivacyFlowReport",
+    "trace_privacy",
+    "PrivacyCertificate",
+    "CertificateError",
+    "AuditResult",
+    "AuditError",
+    "audit_certificate",
 ]

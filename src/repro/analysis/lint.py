@@ -24,6 +24,12 @@ born from a bug class the hand-written-numpy stack cannot afford:
   engine hot path are exactly what PR 1 removed; deliberate reference
   loops carry inline waivers.
 
+Files tagged with a ``repro-lint: privacy-critical`` marker additionally
+run the five differential-privacy rules from
+:mod:`repro.analysis.privacy.rules` (``dp-fixed-seed``,
+``dp-shared-rng``, ``dp-noise-scale``, ``dp-unaccounted-release``,
+``dp-epsilon-no-delta``).
+
 Suppression: end the offending line with ``# repro-lint: allow[rule]
 <reason>``.  Per-path allowlists for whole directories live in
 ``PATH_ALLOW`` below.
@@ -39,7 +45,9 @@ from pathlib import Path
 
 __all__ = ["Violation", "lint_file", "lint_paths", "main", "RULES"]
 
-RULES = ("np-random", "dtype-literal", "param-data", "hot-loop")
+RULES = ("np-random", "dtype-literal", "param-data", "hot-loop",
+         "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
+         "dp-unaccounted-release", "dp-epsilon-no-delta")
 
 # np.random members that are fine: the Generator API and seeding plumbing.
 NP_RANDOM_ALLOWED = {
@@ -51,6 +59,11 @@ FLOAT_DTYPE_LITERALS = {"float32", "float64"}
 # The marker must sit in a comment line; string literals mentioning it
 # (like the ones in this file) do not tag a file as hot.
 _HOT_MARKER_RE = re.compile(r"^\s*#.*repro-lint:\s*hot-kernel", re.MULTILINE)
+
+# Same convention for the DP rules: the marker tags a file as part of a
+# privacy mechanism's trusted computing base.
+_PRIVACY_MARKER_RE = re.compile(r"^\s*#.*repro-lint:\s*privacy-critical",
+                                re.MULTILINE)
 
 _ALLOW_RE = re.compile(r"repro-lint:\s*allow\[([a-z\-, ]+)\]")
 
@@ -237,9 +250,15 @@ def lint_file(path, text=None):
     visitor = _Visitor(str(path), _numpy_aliases(tree),
                        bool(_HOT_MARKER_RE.search(text)))
     visitor.visit(tree)
+    found = list(visitor.violations)
+    if _PRIVACY_MARKER_RE.search(text):
+        # Imported lazily: the DP rules live in the analysis.privacy
+        # package, which the base linter must not pay for on every file.
+        from .privacy.rules import dp_lint
+        found.extend(dp_lint(str(path), tree))
     posix = path.as_posix()
     kept = []
-    for violation in visitor.violations:
+    for violation in found:
         if _path_allowed(violation.rule, posix):
             continue
         if violation.rule in allows.get(violation.line, ()):

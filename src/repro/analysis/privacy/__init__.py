@@ -1,0 +1,53 @@
+"""Privacy-flow analysis: taint tracking, DP lint rules, budget audit.
+
+Three independent layers, one per failure mode of a DP stack:
+
+* :mod:`~repro.analysis.privacy.taint` — runtime provenance: did
+  un-noised private data cross the trust boundary?
+* :mod:`~repro.analysis.privacy.rules` — static DP-invariant lint for
+  files tagged ``privacy-critical``: fixed noise seeds, shared
+  sampling/noise RNGs, literal noise scales, unaccounted releases,
+  epsilon-without-delta reporting.
+* :mod:`~repro.analysis.privacy.audit` — the independent budget auditor
+  recomputing every :class:`PrivacyCertificate`'s epsilon from scratch
+  and cross-checking the accountant ledger and the strong-composition
+  bound.
+
+CLI: ``python -m repro.analysis.privacy audit [--builtin] [certs...]``.
+"""
+
+from .audit import (
+    AuditError,
+    AuditResult,
+    audit_certificate,
+    independent_epsilon,
+    independent_rdp,
+    strong_composition_bound,
+)
+from .certificate import CertificateError, PrivacyCertificate
+from .rules import DP_RULES, dp_lint
+from .taint import (
+    EGRESS_THRESHOLD,
+    Label,
+    PrivacyFlowReport,
+    TaintTracker,
+    trace_privacy,
+)
+
+__all__ = [
+    "Label",
+    "EGRESS_THRESHOLD",
+    "TaintTracker",
+    "PrivacyFlowReport",
+    "trace_privacy",
+    "PrivacyCertificate",
+    "CertificateError",
+    "AuditResult",
+    "AuditError",
+    "audit_certificate",
+    "independent_rdp",
+    "independent_epsilon",
+    "strong_composition_bound",
+    "DP_RULES",
+    "dp_lint",
+]

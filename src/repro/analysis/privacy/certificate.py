@@ -1,0 +1,161 @@
+"""Machine-readable privacy claims emitted by the DP trainers.
+
+A :class:`PrivacyCertificate` is the contract between a training run and
+the independent budget auditor (:mod:`repro.analysis.privacy.audit`):
+the trainer states the mechanism and every parameter its epsilon claim
+depends on, and the auditor recomputes epsilon from those parameters
+alone — without trusting the trainer's accountant instance.  Mismatches
+mean either a corrupted ledger, a buggy accountant, or a tampered claim.
+
+Certificates serialize to plain JSON so they can be archived next to a
+model checkpoint and audited later (``python -m repro.analysis.privacy
+audit cert.json``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ...privacy.accountant import LedgerEntry
+
+__all__ = ["PrivacyCertificate", "CertificateError"]
+
+SCHEMA = "repro.privacy.certificate/v1"
+
+MECHANISMS = ("sampled-gaussian", "laplace-composition")
+
+
+class CertificateError(ValueError):
+    """A certificate is malformed or internally inconsistent."""
+
+
+class PrivacyCertificate:
+    """Privacy parameters of one training run.
+
+    Parameters
+    ----------
+    mechanism:
+        ``"sampled-gaussian"`` (DP-SGD / DP-FedAvg: Poisson-subsampled
+        Gaussian under RDP composition) or ``"laplace-composition"``
+        (PATE: pure-DP Laplace noisy-max under basic composition).
+    q:
+        Sampling probability per step (1.0 when there is no subsampling).
+    sigma:
+        Gaussian noise multiplier (``None`` for pure-DP mechanisms).
+    steps:
+        Number of accounted releases (training steps, rounds, queries).
+    clip_norm:
+        L2 sensitivity bound (``None`` when sensitivity is structural,
+        e.g. a vote histogram).
+    delta:
+        The delta the claimed epsilon is stated at (0 for pure DP).
+    claimed_epsilon:
+        The epsilon the trainer claims to have spent.
+    epsilon_per_query:
+        Pure-DP budget per release (laplace-composition only).
+    ledger:
+        Optional list of :class:`~repro.privacy.accountant.LedgerEntry`
+        (or ``(q, sigma, num_steps)`` triples) recording every
+        accountant charge, for heterogeneous-schedule audits.
+    """
+
+    def __init__(self, mechanism, q, sigma, steps, clip_norm, delta,
+                 claimed_epsilon, epsilon_per_query=None, ledger=None):
+        if mechanism not in MECHANISMS:
+            raise CertificateError(
+                "unknown mechanism {!r}; expected one of {}".format(
+                    mechanism, MECHANISMS))
+        self.mechanism = mechanism
+        self.q = None if q is None else float(q)
+        self.sigma = None if sigma is None else float(sigma)
+        self.steps = int(steps)
+        self.clip_norm = None if clip_norm is None else float(clip_norm)
+        self.delta = float(delta)
+        self.claimed_epsilon = float(claimed_epsilon)
+        self.epsilon_per_query = (
+            None if epsilon_per_query is None else float(epsilon_per_query))
+        self.ledger = None
+        if ledger is not None:
+            self.ledger = [LedgerEntry(float(e[0]), float(e[1]), int(e[2]))
+                           for e in ledger]
+        self._validate()
+
+    def _validate(self):
+        if self.steps < 0:
+            raise CertificateError("steps must be non-negative")
+        if self.claimed_epsilon < 0:
+            raise CertificateError("claimed epsilon must be non-negative")
+        if self.mechanism == "sampled-gaussian":
+            if self.q is None or not 0.0 <= self.q <= 1.0:
+                raise CertificateError("sampled-gaussian needs q in [0, 1]")
+            if self.sigma is None or self.sigma <= 0:
+                raise CertificateError("sampled-gaussian needs sigma > 0")
+            if not 0.0 < self.delta < 1.0:
+                raise CertificateError(
+                    "sampled-gaussian needs delta in (0, 1)")
+        else:  # laplace-composition
+            if self.epsilon_per_query is None or self.epsilon_per_query <= 0:
+                raise CertificateError(
+                    "laplace-composition needs epsilon_per_query > 0")
+            if self.delta != 0.0:
+                raise CertificateError(
+                    "laplace-composition is pure DP; delta must be 0")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        payload = {
+            "schema": SCHEMA,
+            "mechanism": self.mechanism,
+            "q": self.q,
+            "sigma": self.sigma,
+            "steps": self.steps,
+            "clip_norm": self.clip_norm,
+            "delta": self.delta,
+            "claimed_epsilon": self.claimed_epsilon,
+        }
+        if self.epsilon_per_query is not None:
+            payload["epsilon_per_query"] = self.epsilon_per_query
+        if self.ledger is not None:
+            payload["ledger"] = [list(entry) for entry in self.ledger]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        if payload.get("schema") != SCHEMA:
+            raise CertificateError(
+                "unknown certificate schema {!r}".format(payload.get("schema")))
+        return cls(
+            mechanism=payload["mechanism"],
+            q=payload.get("q"),
+            sigma=payload.get("sigma"),
+            steps=payload["steps"],
+            clip_norm=payload.get("clip_norm"),
+            delta=payload["delta"],
+            claimed_epsilon=payload["claimed_epsilon"],
+            epsilon_per_query=payload.get("epsilon_per_query"),
+            ledger=payload.get("ledger"),
+        )
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self):
+        return ("PrivacyCertificate(mechanism={!r}, q={}, sigma={}, steps={}, "
+                "delta={}, claimed_epsilon={:.4f})".format(
+                    self.mechanism, self.q, self.sigma, self.steps,
+                    self.delta, self.claimed_epsilon))

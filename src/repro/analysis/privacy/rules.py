@@ -1,0 +1,282 @@
+"""DP-invariant lint rules for files tagged ``repro-lint: privacy-critical``.
+
+These extend :mod:`repro.analysis.lint` with five rules encoding the
+differential-privacy hygiene the numeric rules cannot see.  Each rule is
+born from a bug that silently *weakens a proof* rather than crashing:
+
+* ``dp-fixed-seed`` — a noise RNG constructed from a literal seed
+  (``np.random.default_rng(0)``).  Every run draws identical noise, so
+  "randomized response" degenerates to a fixed offset an adversary can
+  subtract; the mechanism's DP guarantee assumes fresh randomness.
+* ``dp-shared-rng`` — one generator attribute feeding both Poisson
+  subsampling and noise.  Privacy amplification by subsampling requires
+  the sampling randomness to be independent of the noise; a shared
+  stream also means changing the lot draw silently changes the noise.
+* ``dp-noise-scale`` — a noise call whose scale is a numeric literal.
+  Calibrated noise must be derived from the sensitivity (clip bound ×
+  multiplier); a hard-coded stddev stops tracking the clip bound the
+  moment someone tunes it.
+* ``dp-unaccounted-release`` — a randomized release inside a loop in a
+  function that never charges an accountant.  Composition is the whole
+  game: N unaccounted releases spend N× the budget while reporting 0.
+* ``dp-epsilon-no-delta`` — a function reporting epsilon with no delta
+  parameter (and no delta in its body).  An epsilon without its delta is
+  not a privacy guarantee; pure-DP reporters carry an explicit waiver
+  stating delta = 0.
+
+All five apply only to files carrying a ``privacy-critical`` marker
+comment, and honour the same ``repro-lint: allow[rule] reason`` inline
+waivers as the base linter.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import Violation, _attribute_chain
+
+__all__ = ["DP_RULES", "DPVisitor", "dp_lint"]
+
+DP_RULES = (
+    "dp-fixed-seed",
+    "dp-shared-rng",
+    "dp-noise-scale",
+    "dp-unaccounted-release",
+    "dp-epsilon-no-delta",
+)
+
+# Generator methods that implement subsampling / selection.
+SAMPLING_METHODS = {
+    "random", "choice", "permutation", "shuffle", "integers", "binomial",
+}
+
+# Generator methods that implement calibrated noise.
+NOISE_METHODS = {"normal", "laplace", "standard_normal", "gumbel"}
+
+# Call targets that constitute a randomized (noisy) release.
+RELEASE_METHODS = {"randomize", "noisy_max_vote", "aggregate_labels"}
+
+# Keyword/positional index of the scale argument of noise methods.
+_SCALE_ARG = {"normal": 1, "laplace": 1}
+_SCALE_KEYWORDS = {"scale"}
+
+# Attribute names that count as charging a privacy budget.
+_ACCOUNT_METHOD_NAMES = {"step", "account", "spend", "record_step"}
+_ACCOUNT_COUNTER_HINTS = ("queries", "spent", "answered", "budget")
+
+
+def _is_literal_number(node):
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_literal_number(node.operand)
+    return False
+
+
+def _self_rng_call(node):
+    """``(attr, method)`` when ``node`` is ``self.<attr>.<method>(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner = func.value
+    if not (isinstance(owner, ast.Attribute)
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id == "self"):
+        return None
+    if "rng" not in owner.attr and "generator" not in owner.attr:
+        return None
+    return owner.attr, func.attr
+
+
+def _function_accounts(node):
+    """True when the function body charges an accountant in any form."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            chain = _attribute_chain(child.func)
+            if chain and chain[-1] in _ACCOUNT_METHOD_NAMES \
+                    and any("accountant" in part or "account" in part
+                            for part in chain[:-1]):
+                return True
+        elif isinstance(child, ast.AugAssign):
+            target = child.target
+            if isinstance(target, ast.Attribute) and any(
+                    hint in target.attr for hint in _ACCOUNT_COUNTER_HINTS):
+                return True
+            if isinstance(target, ast.Name) and any(
+                    hint in target.id for hint in _ACCOUNT_COUNTER_HINTS):
+                return True
+    return False
+
+
+def _mentions_delta(node):
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and "delta" in child.id:
+            return True
+        if isinstance(child, ast.Attribute) and "delta" in child.attr:
+            return True
+    return False
+
+
+def _all_parameters(arguments):
+    params = list(arguments.posonlyargs) + list(arguments.args) \
+        + list(arguments.kwonlyargs)
+    if arguments.vararg is not None:
+        params.append(arguments.vararg)
+    if arguments.kwarg is not None:
+        params.append(arguments.kwarg)
+    return [p.arg for p in params]
+
+
+class DPVisitor(ast.NodeVisitor):
+    """AST visitor producing the five dp-* violations for one file."""
+
+    def __init__(self, path):
+        self.path = path
+        self.violations = []
+        # class-qualified rng usage: attr -> {"sampling"|"noise" -> [nodes]}
+        self._class_stack = []
+
+    def _report(self, node, rule, message):
+        self.violations.append(Violation(self.path, node.lineno, rule,
+                                         message))
+
+    # -- dp-fixed-seed ---------------------------------------------------
+    def _check_fixed_seed(self, node):
+        chain = _attribute_chain(node.func)
+        if not chain or chain[-1] != "default_rng":
+            return
+        if node.args and _is_literal_number(node.args[0]):
+            self._report(
+                node, "dp-fixed-seed",
+                "noise RNG seeded with the literal {!r}: every run draws "
+                "identical noise, so the mechanism is deterministic; "
+                "require an explicit rng/seed from the caller".format(
+                    ast.literal_eval(node.args[0])),
+            )
+        for keyword in node.keywords:
+            if keyword.arg == "seed" and _is_literal_number(keyword.value):
+                self._report(
+                    node, "dp-fixed-seed",
+                    "noise RNG seeded with a literal: require an explicit "
+                    "rng/seed from the caller",
+                )
+
+    # -- dp-noise-scale --------------------------------------------------
+    def _check_noise_scale(self, node):
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _SCALE_ARG:
+            return
+        index = _SCALE_ARG[func.attr]
+        scale = None
+        if len(node.args) > index:
+            scale = node.args[index]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg in _SCALE_KEYWORDS:
+                    scale = keyword.value
+        if scale is not None and _is_literal_number(scale) \
+                and ast.literal_eval(scale) != 0:
+            self._report(
+                node, "dp-noise-scale",
+                "noise scale is the literal {!r}; calibrated noise must be "
+                "derived from the clip bound / sensitivity so the guarantee "
+                "tracks parameter changes".format(ast.literal_eval(scale)),
+            )
+
+    # -- dp-shared-rng ---------------------------------------------------
+    def visit_ClassDef(self, node):
+        usage = {}
+        self._class_stack.append(usage)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        for attr, kinds in usage.items():
+            if kinds.get("sampling") and kinds.get("noise"):
+                for noise_node in kinds["noise"]:
+                    self._report(
+                        noise_node, "dp-shared-rng",
+                        "self.{} feeds both subsampling and noise; privacy "
+                        "amplification assumes independent streams — split "
+                        "with np.random.SeedSequence(seed).spawn(2)".format(
+                            attr),
+                    )
+
+    def _record_rng_usage(self, node):
+        if not self._class_stack:
+            return
+        found = _self_rng_call(node)
+        if found is None:
+            return
+        attr, method = found
+        if method in SAMPLING_METHODS:
+            kind = "sampling"
+        elif method in NOISE_METHODS:
+            kind = "noise"
+        else:
+            return
+        self._class_stack[-1].setdefault(attr, {}).setdefault(
+            kind, []).append(node)
+
+    def visit_Call(self, node):
+        self._check_fixed_seed(node)
+        self._check_noise_scale(node)
+        self._record_rng_usage(node)
+        self.generic_visit(node)
+
+    # -- dp-unaccounted-release and dp-epsilon-no-delta ------------------
+    def _visit_function(self, node):
+        accounts = None  # computed lazily; most functions have no releases
+        for child in ast.walk(node):
+            if not isinstance(child, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            for inner in ast.walk(child):
+                if not isinstance(inner, ast.Call):
+                    continue
+                chain = _attribute_chain(inner.func)
+                name = chain[-1] if chain else (
+                    inner.func.id if isinstance(inner.func, ast.Name)
+                    else None)
+                if name not in RELEASE_METHODS:
+                    continue
+                if accounts is None:
+                    accounts = _function_accounts(node)
+                if not accounts:
+                    self._report(
+                        inner, "dp-unaccounted-release",
+                        "noisy release '{}' inside a loop but '{}' never "
+                        "charges an accountant; each iteration spends "
+                        "budget that composition must track".format(
+                            name, node.name),
+                    )
+        if "epsilon" in node.name:
+            params = _all_parameters(node.args)
+            if not any("delta" in p for p in params) \
+                    and not _mentions_delta(node):
+                self._report(
+                    node, "dp-epsilon-no-delta",
+                    "'{}' reports epsilon without a delta: an epsilon alone "
+                    "is not a guarantee — take delta as a parameter, or "
+                    "waive with a reason stating the mechanism is pure "
+                    "DP (delta = 0)".format(node.name),
+                )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def dp_lint(path, tree):
+    """Run the five dp-* rules over a parsed privacy-critical file."""
+    visitor = DPVisitor(str(path))
+    visitor.visit(tree)
+    # A release inside a nested function's loop is seen by both the inner
+    # and the enclosing function walk; keep one finding per site.
+    seen = set()
+    unique = []
+    for violation in visitor.violations:
+        key = (violation.line, violation.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(violation)
+    return unique

@@ -1,0 +1,240 @@
+"""Taint/provenance tracking for private data flowing through the stack.
+
+Every array in a privacy-preserving pipeline sits somewhere on a small
+linear lattice describing how sanitized it is::
+
+    PRIVATE < CLIPPED < NOISED < AGGREGATED < PUBLIC
+
+``PRIVATE`` is raw user data (or anything computed from it), ``CLIPPED``
+has a bounded L2 sensitivity but no noise, ``NOISED`` carries calibrated
+noise on top of a bounded sensitivity, ``AGGREGATED`` is hidden inside a
+secure-aggregation masking scheme, and ``PUBLIC`` never touched private
+data.  Combining arrays takes the *minimum* (worst) label; sanitization
+steps raise the label, but only when their precondition holds — noise
+added to an *unclipped* array does not promote it, because without a
+sensitivity bound the noise calibration proves nothing.
+
+:class:`TaintTracker` follows labels through two channels:
+
+* the :mod:`repro.tensor` analysis hook — every differentiable op's
+  output inherits the worst label among its parent tensors, so a private
+  input tensor taints an entire forward pass with zero changes to the
+  engine (the hook composes with the PR-2 profiler and sanitizer hooks);
+* :mod:`repro.privacy.flow` notifications — the plain-numpy privacy code
+  (clipping, noise mechanisms, secure-agg masking, accountant charges)
+  declares its transitions explicitly.
+
+:func:`trace_privacy` is the user-facing entry point: run a client
+update or a private-inference query under it and the resulting
+:class:`PrivacyFlowReport` lists every release that crossed the trust
+boundary, flagging any egress of un-noised private data::
+
+    with trace_privacy() as trace:
+        trainer.step(features, labels)
+    report = trace.report()
+    assert report.ok, str(report)
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import namedtuple
+
+import numpy as np
+
+from ...privacy import flow
+from ...tensor import Tensor
+from ...tensor import tensor as tensor_mod
+
+__all__ = [
+    "Label",
+    "Release",
+    "NoiseEvent",
+    "AccountingEvent",
+    "PrivacyFlowReport",
+    "TaintTracker",
+    "trace_privacy",
+]
+
+
+class Label(enum.IntEnum):
+    """Sanitization level of an array; higher is safer to release."""
+
+    PRIVATE = 0
+    CLIPPED = 1
+    NOISED = 2
+    AGGREGATED = 3
+    PUBLIC = 4
+
+
+#: Minimum label an array may carry when it crosses the trust boundary.
+EGRESS_THRESHOLD = Label.NOISED
+
+Release = namedtuple("Release", ["channel", "label", "shape", "index"])
+NoiseEvent = namedtuple("NoiseEvent", ["mechanism", "stddev", "promoted"])
+AccountingEvent = namedtuple("AccountingEvent", ["q", "sigma", "num_steps"])
+
+
+class PrivacyFlowReport:
+    """Outcome of a privacy trace: releases, violations, noise/accounting."""
+
+    def __init__(self, releases, noise_events, accounting_events):
+        self.releases = list(releases)
+        self.noise_events = list(noise_events)
+        self.accounting_events = list(accounting_events)
+        self.violations = [r for r in self.releases
+                           if r.label < EGRESS_THRESHOLD]
+
+    @property
+    def ok(self):
+        """True when no release carried un-noised private data."""
+        return not self.violations
+
+    def __str__(self):
+        if self.ok:
+            return ("privacy-flow: ok ({} release(s), {} noise event(s), "
+                    "{} accountant charge(s))".format(
+                        len(self.releases), len(self.noise_events),
+                        len(self.accounting_events)))
+        lines = ["privacy-flow: {} egress violation(s):".format(
+            len(self.violations))]
+        for release in self.violations:
+            lines.append(
+                "  [egress] channel '{}' released {} data of shape {} "
+                "(threshold: {})".format(
+                    release.channel, release.label.name, release.shape,
+                    EGRESS_THRESHOLD.name))
+        return "\n".join(lines)
+
+
+class TaintTracker:
+    """Context manager attaching privacy labels to arrays during a trace.
+
+    Labels are keyed by array identity; the tracker holds a strong
+    reference to every labeled array so ``id`` reuse cannot alias two
+    different arrays within a trace.  Arrays never seen by the tracker
+    are implicitly :attr:`Label.PUBLIC`.
+    """
+
+    def __init__(self):
+        self._labels = {}            # id(array) -> Label
+        self._keepalive = []         # strong refs backing the id keys
+        self.releases = []
+        self.noise_events = []
+        self.accounting_events = []
+        self._previous_hook = None
+        self._previous_listener = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # Label bookkeeping
+    # ------------------------------------------------------------------
+    def label_of(self, array):
+        """Current label of ``array`` (PUBLIC when never labeled)."""
+        if isinstance(array, Tensor):
+            array = array.data
+        return self._labels.get(id(array), Label.PUBLIC)
+
+    def mark(self, array, label):
+        """Set ``array``'s label explicitly (e.g. mark inputs private)."""
+        if isinstance(array, Tensor):
+            array = array.data
+        if not isinstance(array, np.ndarray):
+            return
+        if id(array) not in self._labels:
+            self._keepalive.append(array)
+        self._labels[id(array)] = Label(label)
+
+    def _combine(self, arrays):
+        labels = [self.label_of(a) for a in arrays]
+        return min(labels) if labels else Label.PUBLIC
+
+    # ------------------------------------------------------------------
+    # Engine hook: op outputs inherit the worst parent label
+    # ------------------------------------------------------------------
+    def _hook(self, backward, data, parents=()):
+        if self._previous_hook is not None:
+            self._previous_hook(backward, data, parents)
+        if not parents:
+            return
+        label = self._combine([p.data for p in parents])
+        if label < Label.PUBLIC:
+            self.mark(data, label)
+
+    # ------------------------------------------------------------------
+    # Flow listener: explicit transitions from the privacy code
+    # ------------------------------------------------------------------
+    def _on_event(self, event, **info):
+        if self._previous_listener is not None:
+            self._previous_listener(event, **info)
+        if event == "private":
+            self.mark(info["array"], Label.PRIVATE)
+        elif event == "clipped":
+            source = self.label_of(info["source"])
+            self.mark(info["result"], max(source, Label.CLIPPED))
+        elif event == "noised":
+            source = self.label_of(info["source"])
+            # Noise only certifies privacy over a bounded sensitivity:
+            # an unclipped private array stays private.
+            if source >= Label.CLIPPED:
+                promoted = max(source, Label.NOISED)
+            else:
+                promoted = source
+            self.mark(info["result"], promoted)
+            self.noise_events.append(NoiseEvent(
+                info.get("mechanism", "gaussian"), float(info["stddev"]),
+                promoted >= Label.NOISED))
+        elif event == "aggregated":
+            self.mark(info["result"], Label.AGGREGATED)
+        elif event == "derived":
+            sources = list(info["sources"])
+            if id(info["result"]) in self._labels:
+                # In-place accumulation: the result's own history counts.
+                sources.append(info["result"])
+            label = self._combine(sources)
+            if label < Label.PUBLIC:
+                self.mark(info["result"], label)
+        elif event == "release":
+            array = info["array"]
+            self.releases.append(Release(
+                info["channel"], self.label_of(array),
+                tuple(np.shape(array)), len(self.releases)))
+        elif event == "accounted":
+            self.accounting_events.append(AccountingEvent(
+                float(info["q"]), float(info["sigma"]),
+                int(info["num_steps"])))
+
+    # ------------------------------------------------------------------
+    # Context protocol
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        if self._active:
+            raise RuntimeError("TaintTracker context is not reentrant")
+        self._active = True
+        self._previous_hook = tensor_mod._profile_hook
+        tensor_mod._profile_hook = self._hook
+        self._previous_listener = flow.set_listener(self._on_event)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        tensor_mod._profile_hook = self._previous_hook
+        flow.set_listener(self._previous_listener)
+        self._previous_hook = None
+        self._previous_listener = None
+        self._active = False
+        return False
+
+    def report(self):
+        """Summarize the trace as a :class:`PrivacyFlowReport`."""
+        return PrivacyFlowReport(self.releases, self.noise_events,
+                                 self.accounting_events)
+
+
+def trace_privacy():
+    """Trace a client-update or inference path for private-data egress.
+
+    Returns a fresh :class:`TaintTracker` to be used as a context
+    manager; call :meth:`TaintTracker.report` afterwards (or inside the
+    block) for the verdict.
+    """
+    return TaintTracker()

@@ -96,9 +96,9 @@ class sanitize:
     # ------------------------------------------------------------------
     # Engine hook
     # ------------------------------------------------------------------
-    def _hook(self, backward, data):
+    def _hook(self, backward, data, parents=()):
         if self._previous_hook is not None:
-            self._previous_hook(backward, data)
+            self._previous_hook(backward, data, parents)
         if self.nan_check and isinstance(data, np.ndarray) \
                 and np.issubdtype(data.dtype, np.floating) \
                 and not np.all(np.isfinite(data)):

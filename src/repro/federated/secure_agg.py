@@ -12,10 +12,13 @@ shared seeds, with dropout recovery left out) — enough to demonstrate and
 test the privacy property; it is not a cryptographic implementation.
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import numpy as np
 
+from ..privacy import flow
 from ..tensor import as_float_array
 
 __all__ = ["SecureAggregator"]
@@ -45,6 +48,7 @@ class SecureAggregator:
         if client_id not in self.client_ids:
             raise KeyError("unknown client {}".format(client_id))
         update = as_float_array(update)
+        flow.mark_private(update)
         masked = update.copy()
         for other in self.client_ids:
             if other == client_id:
@@ -54,6 +58,14 @@ class SecureAggregator:
             # rounded values.
             mask = self._pair_mask(client_id, other, update.shape)
             masked += mask.astype(update.dtype, copy=False)
+        if self.mask_scale > 0:
+            flow.mark_aggregated(update, masked)
+        else:
+            # Zero-scale masks are the identity: the "masked" upload IS
+            # the raw update, so its taint label stays private and the
+            # release below is flagged by trace_privacy().
+            flow.mark_derived(masked, (update,))
+        flow.release(masked, "secure_agg.upload")
         return masked
 
     def aggregate(self, masked_updates):

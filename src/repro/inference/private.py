@@ -20,6 +20,8 @@ Because the representation is smaller than the raw input, the scheme also
 benchmark checks).
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import numpy as np
@@ -28,6 +30,7 @@ from .. import nn
 from .. import profiler
 from ..nn import losses
 from ..optim import Adam
+from ..privacy import flow
 from ..privacy.mechanisms import gaussian_sigma_for
 from ..tensor import Tensor, get_default_dtype, no_grad
 
@@ -82,31 +85,48 @@ class PrivateLocalTransformer:
         Runs at whatever float dtype ``features`` carries (float32 inputs
         stay float32 end to end, halving device-side memory traffic).
         """
+        inputs = Tensor(np.asarray(features))
+        # Raw device data is the private source; the taint tracker (when
+        # active) propagates the label through every local-net op.
+        flow.mark_private(inputs.data)
         with no_grad(), profiler.timer("private_inference.extract"):
-            representation = self.local_net(Tensor(np.asarray(features))).numpy()
+            representation = self.local_net(inputs).numpy()
         norms = np.linalg.norm(representation, axis=1, keepdims=True)
         scale = np.minimum(1.0, self.bound / np.maximum(norms, 1e-12))
-        return (representation * scale).astype(representation.dtype, copy=False)
+        clipped = (representation * scale).astype(representation.dtype,
+                                                  copy=False)
+        flow.mark_clipped(representation, clipped, self.bound)
+        return clipped
 
     def perturb(self, representation, rng=None):
         """Apply nullification then Gaussian noise (the transmitted data)."""
         rng = rng or self.rng
-        representation = np.asarray(representation)
+        source = representation = np.asarray(representation)
         if representation.dtype.kind != "f":
             representation = representation.astype(get_default_dtype())
         if self.nullification_rate > 0:
             keep = rng.random(representation.shape) >= self.nullification_rate
             representation = representation * keep
         if self.noise_sigma > 0:
+            stddev = (self.noise_sigma * self.bound
+                      / np.sqrt(representation.shape[1]))
             representation = representation + rng.normal(
-                0.0, self.noise_sigma * self.bound / np.sqrt(representation.shape[1]),
-                size=representation.shape,
+                0.0, stddev, size=representation.shape,
             )
+            flow.mark_noised(source, representation, stddev)
+        else:
+            # ARDEN's guarantee needs the Gaussian noise, not just the
+            # nullification mask: without it the representation keeps its
+            # pre-perturbation taint label and any transmission is
+            # flagged as an egress violation.
+            flow.mark_derived(representation, (source,))
         return representation
 
     def __call__(self, features):
         """Full device-side pipeline: extract, clip, nullify, add noise."""
-        return self.perturb(self.extract(features))
+        transmitted = self.perturb(self.extract(features))
+        flow.release(transmitted, "private_inference.uplink")
+        return transmitted
 
     def epsilon_per_query(self, delta=1e-5):
         """(epsilon, delta)-DP of one transmitted representation.
@@ -194,6 +214,7 @@ class PrivateInferencePipeline:
         """Classify through the full private path (perturbation included)."""
         transmitted = self.transformer.perturb(
             self.transformer.extract(features), rng=rng)
+        flow.release(transmitted, "private_inference.uplink")
         profiler.record_bytes(
             "private_inference.uplink",
             self.transformer.transmitted_bytes(transmitted.shape[1])
@@ -206,7 +227,7 @@ class PrivateInferencePipeline:
 
     def accuracy(self, features, labels, repeats=1, rng=None):
         """Mean accuracy over ``repeats`` independent perturbation draws."""
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(0)  # repro-lint: allow[dp-fixed-seed] evaluation harness; the deployed path draws from self.rng
         labels = np.asarray(labels)
         scores = [
             float((self.predict(features, rng=rng) == labels).mean())

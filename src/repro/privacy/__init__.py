@@ -1,5 +1,6 @@
 """Privacy-preserving training: mechanisms, accounting, DP-SGD, PATE, DP-FedAvg."""
 
+from . import flow
 from .mechanisms import (
     GaussianMechanism,
     LaplaceMechanism,
@@ -8,6 +9,7 @@ from .mechanisms import (
 )
 from .accountant import (
     DEFAULT_ORDERS,
+    LedgerEntry,
     MomentsAccountant,
     rdp_subsampled_gaussian,
     rdp_to_epsilon,
@@ -19,6 +21,8 @@ from .dpfedavg import DPFedAvg
 from .attacks import GradientInversionAttack, MembershipInferenceAttack
 
 __all__ = [
+    "flow",
+    "LedgerEntry",
     "GaussianMechanism",
     "LaplaceMechanism",
     "clip_by_l2",

@@ -12,19 +12,32 @@ differential privacy of the subsampled Gaussian mechanism.  We implement:
   tighter the accountant is (the comparison the paper alludes to).
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import math
+from collections import namedtuple
 
 import numpy as np
 from scipy import special
 
+from . import flow
+
 __all__ = [
     "rdp_subsampled_gaussian",
     "rdp_to_epsilon",
+    "LedgerEntry",
     "MomentsAccountant",
     "strong_composition_epsilon",
 ]
+
+#: One accountant charge: ``num_steps`` sampled-Gaussian releases at
+#: sampling probability ``q`` and noise multiplier ``sigma``.  The ledger
+#: of these entries is what the independent budget auditor
+#: (:mod:`repro.analysis.privacy.audit`) replays to cross-check a
+#: trainer's :class:`~repro.analysis.privacy.certificate.PrivacyCertificate`.
+LedgerEntry = namedtuple("LedgerEntry", ["q", "sigma", "num_steps"])
 
 DEFAULT_ORDERS = tuple(range(2, 65))
 
@@ -98,6 +111,7 @@ class MomentsAccountant:
         self.orders = tuple(orders)
         self._rdp = np.zeros(len(self.orders))
         self.steps = 0
+        self.ledger = []
 
     def step(self, q, sigma, num_steps=1):
         """Account for ``num_steps`` sampled-Gaussian releases."""
@@ -106,6 +120,8 @@ class MomentsAccountant:
         ])
         self._rdp = self._rdp + num_steps * increments
         self.steps += num_steps
+        self.ledger.append(LedgerEntry(float(q), float(sigma), int(num_steps)))
+        flow.accounted(q, sigma, num_steps)
         return self
 
     def get_epsilon(self, delta):

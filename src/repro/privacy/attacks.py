@@ -18,6 +18,8 @@ something real:
   DP training shrinks that gap.
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import numpy as np
@@ -92,7 +94,7 @@ class GradientInversionAttack:
 
         Returns (recovered input, cosine similarity to the original).
         """
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(0)  # repro-lint: allow[dp-fixed-seed] attack simulation, not a privacy mechanism: deterministic noise is fine here
         gradient = self.capture_gradient(model, example, label)
         if noise_std > 0:
             gradient = {

@@ -14,12 +14,15 @@ differentially private, all implemented here:
 Privacy is tracked at user level by the moments accountant.
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 from collections import OrderedDict
 
 import numpy as np
 
+from . import flow
 from .accountant import MomentsAccountant
 from .mechanisms import clip_by_l2
 from ..federated.algorithms import FederatedHistory, RoundRecord
@@ -62,7 +65,13 @@ class DPFedAvg:
         self.local_epochs = local_epochs
         self.batch_size = batch_size
         self.lr = lr
-        self.rng = np.random.default_rng(seed)
+        # Participant sampling and noise use independent streams (spawned
+        # from ``seed``): the accountant's amplification-by-sampling
+        # analysis treats them as independent sources of randomness, and
+        # the ``dp-shared-rng`` lint rule flags a shared generator.
+        sample_seq, noise_seq = np.random.SeedSequence(seed).spawn(2)
+        self.rng = np.random.default_rng(sample_seq)
+        self.noise_rng = np.random.default_rng(noise_seq)
         self.accountant = MomentsAccountant()
 
     def _poisson_sample(self):
@@ -86,10 +95,21 @@ class DPFedAvg:
                 lr=self.lr,
             )
             delta = _flatten(new_state) - flat_global
-            total += clip_by_l2(delta, self.clip_norm)
+            # A model delta is a function of one user's entire shard:
+            # born private, sanitized by the clip below.
+            flow.mark_private(delta)
+            clipped = clip_by_l2(delta, self.clip_norm)
+            total += clipped
+            flow.mark_derived(total, (clipped,))
         noise_std = self.noise_multiplier * self.clip_norm
-        total += self.rng.normal(0.0, noise_std, size=total.shape)
-        update = total / max(expected_weight, 1e-12)
+        noised = total + self.noise_rng.normal(0.0, noise_std, size=total.shape)
+        if self.noise_multiplier > 0:
+            flow.mark_noised(total, noised, noise_std)
+        else:
+            flow.mark_derived(noised, (total,))
+        update = noised / max(expected_weight, 1e-12)
+        flow.mark_derived(update, (noised,))
+        flow.release(update, "dpfedavg.server_update")
         self.server.state = _unflatten_like(flat_global + update, state)
         self.accountant.step(self.sample_prob, max(self.noise_multiplier, 1e-9))
         return participants, per_client * len(participants), per_client * len(participants)
@@ -114,6 +134,25 @@ class DPFedAvg:
             ):
                 break
         return history
+
+    def certificate(self, delta=1e-5):
+        """Machine-readable claim of this run's user-level privacy.
+
+        Verified end-to-end by ``python -m repro.analysis.privacy audit``.
+        """
+        from ..analysis.privacy.certificate import PrivacyCertificate
+        if not self.accountant.ledger:
+            raise RuntimeError("no rounds accounted yet; run first")
+        return PrivacyCertificate(
+            mechanism="sampled-gaussian",
+            q=self.sample_prob,
+            sigma=max(self.noise_multiplier, 1e-9),
+            steps=self.accountant.steps,
+            clip_norm=self.clip_norm,
+            delta=delta,
+            claimed_epsilon=self.accountant.spent(delta),
+            ledger=list(self.accountant.ledger),
+        )
 
     def epsilon_spent(self, delta=1e-5):
         """User-level epsilon spent so far."""

@@ -5,12 +5,15 @@ Gaussian noise scaled to that bound, and averaged over the *lot*.  Privacy
 is tracked by the :class:`~repro.privacy.accountant.MomentsAccountant`.
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import numpy as np
 
 from ..nn import losses
 from ..tensor import Tensor, no_grad
+from . import flow
 from .accountant import MomentsAccountant
 from .mechanisms import clip_by_l2
 
@@ -32,6 +35,14 @@ class DPSGDTrainer:
         sigma; Gaussian noise stddev is sigma * C per coordinate of the sum.
     lot_size:
         Expected lot size L; examples are Poisson-sampled with q = L / N.
+
+    Notes
+    -----
+    Poisson sampling and noise generation draw from *independent* RNG
+    streams (spawned from ``seed``).  Sharing one generator couples which
+    examples participate with which noise is added — the two sources of
+    randomness the accountant's analysis treats as independent — and is
+    flagged by the ``dp-shared-rng`` lint rule.
     """
 
     def __init__(self, model, lr=0.1, clip_norm=1.0, noise_multiplier=1.0,
@@ -46,7 +57,9 @@ class DPSGDTrainer:
         self.noise_multiplier = noise_multiplier
         self.lot_size = lot_size
         self.loss_fn = loss_fn or losses.cross_entropy
-        self.rng = np.random.default_rng(seed)
+        sample_seq, noise_seq = np.random.SeedSequence(seed).spawn(2)
+        self.rng = np.random.default_rng(sample_seq)
+        self.noise_rng = np.random.default_rng(noise_seq)
         self.accountant = MomentsAccountant()
         self._params = self.model.parameters()
         self._shapes = [p.data.shape for p in self._params]
@@ -72,11 +85,22 @@ class DPSGDTrainer:
         """
         features = np.asarray(features)
         labels = np.asarray(labels)
+        flow.mark_private(features)
         n = len(features)
         q = min(self.lot_size / n, 1.0)
         mask = self.rng.random(n) < q
         if not mask.any():
-            mask[self.rng.integers(0, n)] = True
+            # An empty lot is a legitimate outcome of Poisson sampling.
+            # Forcing a random example in (the old behaviour) biases the
+            # subsampling distribution: every example's true inclusion
+            # probability exceeds q, so the accountant's RDP analysis —
+            # which assumes exactly-q Poisson sampling — would understate
+            # epsilon.  Skip the model update but still charge the
+            # accountant: the mechanism *did* release (noise-only, had we
+            # computed it), and charging keeps the per-step privacy cost
+            # independent of the sampled lot, as the analysis requires.
+            self.accountant.step(q, max(self.noise_multiplier, 1e-9))
+            return 0
         lot_x, lot_y = features[mask], labels[mask]
 
         total = np.zeros(sum(self._sizes))
@@ -84,11 +108,24 @@ class DPSGDTrainer:
             self.model.zero_grad()
             loss = self.loss_fn(self.model(Tensor(lot_x[i:i + 1])), lot_y[i:i + 1])
             loss.backward()
-            total += clip_by_l2(self._flat_grad(), self.clip_norm)
-        noise = self.rng.normal(
+            flat = self._flat_grad()
+            # The per-example gradient is a function of one user's data:
+            # taint it private so un-noised egress is caught by the
+            # privacy-flow tracer.
+            flow.mark_private(flat)
+            clipped = clip_by_l2(flat, self.clip_norm)
+            total += clipped
+            flow.mark_derived(total, (clipped,))
+        noise = self.noise_rng.normal(
             0.0, self.noise_multiplier * self.clip_norm, size=total.shape
         )
         averaged = (total + noise) / max(self.lot_size, 1)
+        if self.noise_multiplier > 0:
+            flow.mark_noised(total, averaged,
+                             self.noise_multiplier * self.clip_norm)
+        else:
+            flow.mark_derived(averaged, (total,))
+        flow.release(averaged, "dpsgd.update")
         self._apply_flat(averaged)
         self.accountant.step(q, max(self.noise_multiplier, 1e-9))
         return int(mask.sum())
@@ -107,6 +144,29 @@ class DPSGDTrainer:
             if callback is not None:
                 callback(step_index, self)
         return self.accountant.spent(delta)
+
+    def certificate(self, delta=1e-5):
+        """Machine-readable claim of this run's privacy parameters.
+
+        The certificate carries everything the independent auditor
+        (``python -m repro.analysis.privacy audit``) needs to recompute
+        epsilon from scratch and cross-check it against the accountant's
+        step ledger.
+        """
+        from ..analysis.privacy.certificate import PrivacyCertificate
+        if not self.accountant.ledger:
+            raise RuntimeError("no steps accounted yet; train first")
+        last = self.accountant.ledger[-1]
+        return PrivacyCertificate(
+            mechanism="sampled-gaussian",
+            q=last.q,
+            sigma=last.sigma,
+            steps=self.accountant.steps,
+            clip_norm=self.clip_norm,
+            delta=delta,
+            claimed_epsilon=self.accountant.spent(delta),
+            ledger=list(self.accountant.ledger),
+        )
 
     def evaluate(self, features, labels):
         """Accuracy of the current model."""

@@ -6,11 +6,14 @@ in the input" (Sec. II-C).  These are the building blocks every
 privacy-preserving trainer in this package shares.
 """
 
+# repro-lint: privacy-critical
+
 from __future__ import annotations
 
 import numpy as np
 
 from ..tensor import as_float_array
+from . import flow
 
 __all__ = [
     "clip_by_l2",
@@ -18,6 +21,27 @@ __all__ = [
     "GaussianMechanism",
     "gaussian_sigma_for",
 ]
+
+
+def _resolve_rng(rng, seed, owner):
+    """Require an explicit noise source: a Generator or a seed.
+
+    A mechanism that silently falls back to ``np.random.default_rng(0)``
+    draws the *same* noise in every instance — an attacker who knows the
+    implementation can subtract it, which voids the DP guarantee outright.
+    Callers must either pass a ``rng`` they manage or opt into a seeded
+    stream explicitly (tests, reproducible experiments).
+    """
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    raise ValueError(
+        "{} needs an explicit noise source: pass rng=<Generator> or "
+        "seed=<int>.  A shared deterministic default would emit identical "
+        "noise across instances, which destroys the privacy guarantee."
+        .format(owner)
+    )
 
 
 def clip_by_l2(vector, bound):
@@ -31,21 +55,24 @@ def clip_by_l2(vector, bound):
     vector = as_float_array(vector)
     norm = float(np.linalg.norm(vector))
     if norm > bound:
-        return vector * (bound / norm)
-    return vector.copy()
+        result = vector * (bound / norm)
+    else:
+        result = vector.copy()
+    flow.mark_clipped(vector, result, bound)
+    return result
 
 
 class LaplaceMechanism:
     """Pure epsilon-DP additive noise: scale = sensitivity / epsilon."""
 
-    def __init__(self, epsilon, sensitivity=1.0, rng=None):
+    def __init__(self, epsilon, sensitivity=1.0, rng=None, seed=None):
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         if sensitivity <= 0:
             raise ValueError("sensitivity must be positive")
         self.epsilon = epsilon
         self.sensitivity = sensitivity
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = _resolve_rng(rng, seed, "LaplaceMechanism")
 
     @property
     def scale(self):
@@ -55,7 +82,9 @@ class LaplaceMechanism:
         """Add Laplace noise elementwise."""
         value = as_float_array(value)
         noise = self.rng.laplace(0.0, self.scale, size=value.shape)
-        return value + noise.astype(value.dtype, copy=False)
+        result = value + noise.astype(value.dtype, copy=False)
+        flow.mark_noised(value, result, self.scale, mechanism="laplace")
+        return result
 
 
 class GaussianMechanism:
@@ -66,20 +95,20 @@ class GaussianMechanism:
     (epsilon, delta) via :func:`gaussian_sigma_for`.
     """
 
-    def __init__(self, sigma, sensitivity=1.0, rng=None):
+    def __init__(self, sigma, sensitivity=1.0, rng=None, seed=None):
         if sigma <= 0:
             raise ValueError("sigma must be positive")
         if sensitivity <= 0:
             raise ValueError("sensitivity must be positive")
         self.sigma = sigma
         self.sensitivity = sensitivity
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = _resolve_rng(rng, seed, "GaussianMechanism")
 
     @classmethod
-    def calibrated(cls, epsilon, delta, sensitivity=1.0, rng=None):
+    def calibrated(cls, epsilon, delta, sensitivity=1.0, rng=None, seed=None):
         """Classic calibration sigma >= sqrt(2 ln(1.25/delta)) / epsilon."""
         return cls(gaussian_sigma_for(epsilon, delta), sensitivity=sensitivity,
-                   rng=rng)
+                   rng=rng, seed=seed)
 
     @property
     def stddev(self):
@@ -89,7 +118,9 @@ class GaussianMechanism:
         """Add Gaussian noise elementwise."""
         value = as_float_array(value)
         noise = self.rng.normal(0.0, self.stddev, size=value.shape)
-        return value + noise.astype(value.dtype, copy=False)
+        result = value + noise.astype(value.dtype, copy=False)
+        flow.mark_noised(value, result, self.stddev, mechanism="gaussian")
+        return result
 
 
 def gaussian_sigma_for(epsilon, delta):

@@ -72,7 +72,7 @@ def _op_name(backward):
     return head.rsplit(".", 1)[-1] if "." in head else head
 
 
-def _op_hook(backward, data):
+def _op_hook(backward, data, parents=()):
     name = _op_name(backward)
     stat = _State.ops.get(name)
     if stat is None:

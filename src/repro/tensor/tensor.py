@@ -46,10 +46,13 @@ class _DtypeMode:
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))  # repro-lint: allow[dtype-literal] the two supported float dtypes
 
-# Optional profiling hook installed by :mod:`repro.profiler`.  When set, it
-# is called as ``_profile_hook(backward, data)`` for every op that goes
-# through :meth:`Tensor._make`; the single ``is None`` check keeps the
-# unprofiled hot path free.
+# Optional analysis hook installed by :mod:`repro.profiler`,
+# :mod:`repro.analysis.sanitize`, or :mod:`repro.analysis.privacy.taint`.
+# When set, it is called as ``_profile_hook(backward, data, parents)`` for
+# every op that goes through :meth:`Tensor._make`; the single ``is None``
+# check keeps the uninstrumented hot path free.  ``parents`` is the tuple
+# of operand Tensors, so hooks that track provenance (taint labels,
+# checksums) see the exact dataflow instead of guessing from closures.
 _profile_hook = None
 
 
@@ -254,7 +257,7 @@ class Tensor:
         call ``parent.accumulate_grad`` for each parent that requires grad.
         """
         if _profile_hook is not None:
-            _profile_hook(backward, data)
+            _profile_hook(backward, data, parents)
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:

@@ -147,4 +147,6 @@ def test_cli_reports_violation_locations(tmp_path, capsys):
 def test_rules_tuple_is_exhaustive():
     assert set(lint.RULES) == {
         "np-random", "dtype-literal", "param-data", "hot-loop",
+        "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
+        "dp-unaccounted-release", "dp-epsilon-no-delta",
     }

@@ -43,8 +43,23 @@ class TestMechanisms:
             clip_by_l2(np.ones(2), 0.0)
 
     def test_laplace_scale(self):
-        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0, seed=0)
         assert mech.scale == pytest.approx(4.0)
+
+    def test_mechanisms_require_explicit_noise_source(self):
+        # A silent default_rng(0) fallback would draw identical noise in
+        # every instance; the constructors must refuse to guess.
+        with pytest.raises(ValueError, match="explicit noise source"):
+            LaplaceMechanism(epsilon=1.0)
+        with pytest.raises(ValueError, match="explicit noise source"):
+            GaussianMechanism(sigma=1.0)
+        with pytest.raises(ValueError, match="explicit noise source"):
+            GaussianMechanism.calibrated(epsilon=1.0, delta=1e-5)
+
+    def test_mechanism_instances_draw_independent_noise(self):
+        a = LaplaceMechanism(epsilon=1.0, seed=1).randomize(np.zeros(32))
+        b = LaplaceMechanism(epsilon=1.0, seed=2).randomize(np.zeros(32))
+        assert not np.allclose(a, b)
 
     def test_laplace_noise_statistics(self):
         mech = LaplaceMechanism(epsilon=1.0, rng=np.random.default_rng(0))
@@ -59,7 +74,7 @@ class TestMechanisms:
         assert abs(noise.std() - 6.0) < 0.1
 
     def test_gaussian_calibration(self):
-        mech = GaussianMechanism.calibrated(epsilon=1.0, delta=1e-5)
+        mech = GaussianMechanism.calibrated(epsilon=1.0, delta=1e-5, seed=0)
         assert mech.sigma == pytest.approx(gaussian_sigma_for(1.0, 1e-5))
 
     def test_parameter_validation(self):

@@ -1,0 +1,251 @@
+"""Tests for privacy certificates and the independent budget auditor."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.privacy import (
+    CertificateError,
+    PrivacyCertificate,
+    audit_certificate,
+    independent_epsilon,
+    strong_composition_bound,
+)
+from repro.analysis.privacy.__main__ import main as audit_main
+from repro.baselines import LogisticRegressionClassifier
+from repro.data import ArrayDataset
+from repro.federated import FederatedClient
+from repro.privacy import PATE, DPFedAvg, DPSGDTrainer, MomentsAccountant
+from repro.synth import make_digits, shard_partition
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(64, 16, rng=rng), nn.ReLU(),
+                         nn.Linear(16, 10, rng=rng))
+
+
+def sampled_gaussian_cert(q=0.01, sigma=1.0, steps=100, delta=1e-5,
+                          **overrides):
+    accountant = MomentsAccountant().step(q, sigma, num_steps=steps)
+    fields = dict(mechanism="sampled-gaussian", q=q, sigma=sigma,
+                  steps=steps, clip_norm=1.0, delta=delta,
+                  claimed_epsilon=accountant.spent(delta),
+                  ledger=list(accountant.ledger))
+    fields.update(overrides)
+    return PrivacyCertificate(**fields)
+
+
+class TestCertificate:
+    def test_json_roundtrip(self):
+        cert = sampled_gaussian_cert()
+        again = PrivacyCertificate.from_json(cert.to_json())
+        assert again.to_dict() == cert.to_dict()
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "cert.json"
+        cert = sampled_gaussian_cert()
+        cert.save(path)
+        assert PrivacyCertificate.load(path).to_dict() == cert.to_dict()
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("magic", 0.1, 1.0, 10, 1.0, 1e-5, 1.0)
+
+    def test_sampled_gaussian_validation(self):
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("sampled-gaussian", 0.1, None, 10, 1.0,
+                               1e-5, 1.0)
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("sampled-gaussian", 1.5, 1.0, 10, 1.0,
+                               1e-5, 1.0)
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("sampled-gaussian", 0.1, 1.0, 10, 1.0,
+                               0.0, 1.0)
+
+    def test_laplace_validation(self):
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("laplace-composition", 1.0, None, 10, None,
+                               0.0, 1.0, epsilon_per_query=None)
+        with pytest.raises(CertificateError):
+            PrivacyCertificate("laplace-composition", 1.0, None, 10, None,
+                               1e-5, 1.0, epsilon_per_query=0.1)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(CertificateError):
+            PrivacyCertificate.from_dict({"schema": "something/else"})
+
+
+class TestAuditor:
+    def test_honest_certificate_passes(self):
+        result = audit_certificate(sampled_gaussian_cert())
+        assert result.ok, str(result)
+        assert result.epsilon_recomputed == pytest.approx(
+            result.epsilon_claimed, rel=1e-9)
+
+    def test_tampered_epsilon_fails(self):
+        cert = sampled_gaussian_cert()
+        cert.claimed_epsilon *= 0.5  # claim half the true spend
+        result = audit_certificate(cert)
+        assert not result.ok
+        assert any("does not match" in f for f in result.failures)
+
+    def test_understated_steps_fail(self):
+        cert = sampled_gaussian_cert(steps=100)
+        tampered = PrivacyCertificate(
+            mechanism="sampled-gaussian", q=cert.q, sigma=cert.sigma,
+            steps=50, clip_norm=cert.clip_norm, delta=cert.delta,
+            claimed_epsilon=cert.claimed_epsilon, ledger=cert.ledger)
+        result = audit_certificate(tampered)
+        assert not result.ok
+        assert any("ledger" in f for f in result.failures)
+
+    def test_ledger_parameter_mismatch_fails(self):
+        cert = sampled_gaussian_cert(q=0.01)
+        tampered = PrivacyCertificate(
+            mechanism="sampled-gaussian", q=0.005, sigma=cert.sigma,
+            steps=cert.steps, clip_norm=cert.clip_norm, delta=cert.delta,
+            claimed_epsilon=cert.claimed_epsilon, ledger=cert.ledger)
+        assert not audit_certificate(tampered).ok
+
+    def test_live_accountant_cross_check(self):
+        accountant = MomentsAccountant().step(0.01, 1.0, num_steps=100)
+        cert = sampled_gaussian_cert(steps=100)
+        assert audit_certificate(cert, accountant=accountant).ok
+        accountant.step(0.01, 1.0)  # one extra unclaimed step
+        result = audit_certificate(cert, accountant=accountant)
+        assert not result.ok
+        assert any("live accountant" in f for f in result.failures)
+
+    def test_moments_claim_within_strong_composition(self):
+        for q, sigma, steps in [(0.01, 1.0, 500), (0.05, 1.5, 200),
+                                (0.002, 0.8, 2000)]:
+            result = audit_certificate(
+                sampled_gaussian_cert(q=q, sigma=sigma, steps=steps))
+            assert result.ok, str(result)
+            assert result.epsilon_recomputed < result.epsilon_strong_bound
+
+    def test_single_step_large_q_certificate_passes(self):
+        # Regression: with one step there is no composition, and the RDP
+        # conversion can legitimately land above the amplified classical
+        # Gaussian epsilon — the strong-bound check must not fire there.
+        result = audit_certificate(
+            sampled_gaussian_cert(q=0.4, sigma=1.1, steps=1))
+        assert result.ok, str(result)
+        assert result.epsilon_recomputed > result.epsilon_strong_bound
+
+    def test_inflated_claim_beyond_strong_bound_fails(self):
+        cert = sampled_gaussian_cert()
+        bound = strong_composition_bound(cert.q, cert.sigma, cert.steps,
+                                         cert.delta)
+        cert.claimed_epsilon = bound * 2
+        result = audit_certificate(cert)
+        assert not result.ok
+
+    def test_heterogeneous_ledger_replay(self):
+        accountant = MomentsAccountant()
+        accountant.step(0.01, 1.0, num_steps=50)
+        accountant.step(0.02, 1.2, num_steps=25)
+        eps, order = independent_epsilon(accountant.ledger, 1e-5)
+        assert eps == pytest.approx(accountant.spent(1e-5), rel=1e-9)
+        assert order in accountant.orders
+
+    def test_auditor_agrees_with_accountant_across_sweep(self):
+        # The accountant (scalar log-add loop) and the auditor (vectorized
+        # logsumexp) are independent implementations of the same bound.
+        for q in (0.001, 0.01, 0.1, 1.0):
+            for sigma in (0.7, 1.0, 2.0):
+                accountant = MomentsAccountant().step(q, sigma, num_steps=64)
+                eps, _ = independent_epsilon([(q, sigma, 64)], 1e-5)
+                assert eps == pytest.approx(accountant.spent(1e-5), rel=1e-9)
+
+    def test_laplace_certificate(self):
+        cert = PrivacyCertificate(
+            "laplace-composition", 1.0, None, 40, None, 0.0,
+            claimed_epsilon=2.0, epsilon_per_query=0.05)
+        assert audit_certificate(cert).ok
+        cert.claimed_epsilon = 1.0
+        assert not audit_certificate(cert).ok
+
+
+class TestTrainerCertificates:
+    def test_dpsgd_certificate_audits_end_to_end(self):
+        x, y = make_digits(80, seed=1)
+        trainer = DPSGDTrainer(make_model(), lot_size=20,
+                               noise_multiplier=1.0, seed=0)
+        trainer.train(x, y, num_steps=3)
+        cert = trainer.certificate(delta=1e-5)
+        result = audit_certificate(cert, accountant=trainer.accountant)
+        assert result.ok, str(result)
+
+    def test_dpsgd_certificate_requires_steps(self):
+        trainer = DPSGDTrainer(make_model(), seed=0)
+        with pytest.raises(RuntimeError):
+            trainer.certificate()
+
+    def test_dpfedavg_certificate_audits_end_to_end(self):
+        x, y = make_digits(120, seed=1)
+        parts = shard_partition(y, 4, shards_per_client=2,
+                                rng=np.random.default_rng(0))
+
+        def model_fn():
+            return make_model(seed=42)
+
+        clients = [
+            FederatedClient(i, ArrayDataset(x[p], y[p]), model_fn, seed=i)
+            for i, p in enumerate(parts)
+        ]
+        dp = DPFedAvg(clients, model_fn, sample_prob=0.5,
+                      noise_multiplier=1.0, local_epochs=1, seed=0)
+        dp.round()
+        dp.round()
+        cert = dp.certificate(delta=1e-3)
+        result = audit_certificate(cert, accountant=dp.accountant)
+        assert result.ok, str(result)
+
+    def test_pate_certificate_audits_end_to_end(self):
+        x, y = make_digits(200, seed=1)
+        pate = PATE(lambda: LogisticRegressionClassifier(),
+                    lambda: LogisticRegressionClassifier(),
+                    num_teachers=4, epsilon_per_query=0.5, seed=0)
+        pate.fit_teachers(x, y)
+        pate.aggregate_labels(x[:10])
+        cert = pate.certificate()
+        assert cert.steps == 10
+        result = audit_certificate(cert)
+        assert result.ok, str(result)
+        # Tampered: claim fewer queries than were answered.
+        tampered = pate.certificate()
+        tampered.steps = 5
+        assert not audit_certificate(tampered).ok
+
+
+class TestCli:
+    def test_builtin_table_passes(self, capsys):
+        assert audit_main(["audit", "--builtin"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_good_certificate_file(self, tmp_path, capsys):
+        path = tmp_path / "cert.json"
+        sampled_gaussian_cert().save(path)
+        assert audit_main(["audit", str(path)]) == 0
+
+    def test_tampered_certificate_file_fails(self, tmp_path, capsys):
+        cert = sampled_gaussian_cert()
+        cert.claimed_epsilon *= 0.25
+        path = tmp_path / "cert.json"
+        cert.save(path)
+        assert audit_main(["audit", str(path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unreadable_certificate_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        assert audit_main(["audit", str(path)]) == 2
+
+    def test_markdown_table_output(self, capsys):
+        assert audit_main(["audit", "--builtin", "--table"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| config |")
+        assert "| OK |" in out

@@ -1,0 +1,225 @@
+"""Tests for the DP-invariant lint rules (dp-* in repro.analysis.lint)."""
+
+from repro.analysis import lint
+from repro.analysis.privacy.rules import DP_RULES
+
+MARKER = "# repro-lint: privacy-critical"
+
+
+def run(source, path="fixture.py"):
+    return lint.lint_file(path, text=source)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestFixedSeed:
+    BROKEN = MARKER + """
+import numpy as np
+
+def make_noise():
+    rng = np.random.default_rng(0)
+    return rng
+"""
+
+    FALLBACK = MARKER + """
+import numpy as np
+
+def noisy(x, rng=None):
+    rng = rng or np.random.default_rng(42)
+    return x
+"""
+
+    def test_literal_seed_fires(self):
+        assert "dp-fixed-seed" in rules_of(run(self.BROKEN))
+
+    def test_or_fallback_fires(self):
+        assert "dp-fixed-seed" in rules_of(run(self.FALLBACK))
+
+    def test_passed_seed_is_clean(self):
+        clean = MARKER + """
+import numpy as np
+
+def make_noise(seed):
+    return np.random.default_rng(seed)
+"""
+        assert "dp-fixed-seed" not in rules_of(run(clean))
+
+    def test_unmarked_file_is_exempt(self):
+        unmarked = self.BROKEN.replace(MARKER, "# ordinary file")
+        assert rules_of(run(unmarked)) == []
+
+    def test_waiver_suppresses(self):
+        waived = self.BROKEN.replace(
+            "np.random.default_rng(0)",
+            "np.random.default_rng(0)  "
+            "# repro-lint: allow[dp-fixed-seed] test fixture")
+        assert "dp-fixed-seed" not in rules_of(run(waived))
+
+
+class TestSharedRng:
+    BROKEN = MARKER + """
+class Trainer:
+    def step(self, n, q):
+        mask = self.rng.random(n) < q
+        noise = self.rng.normal(0.0, self.sigma * self.clip, size=n)
+        return mask, noise
+"""
+
+    SPLIT = MARKER + """
+class Trainer:
+    def step(self, n, q):
+        mask = self.rng.random(n) < q
+        noise = self.noise_rng.normal(0.0, self.sigma * self.clip, size=n)
+        return mask, noise
+"""
+
+    def test_shared_generator_fires(self):
+        violations = run(self.BROKEN)
+        assert "dp-shared-rng" in rules_of(violations)
+        # Reported at the noise call, not the sampling call.
+        line = next(v.line for v in violations if v.rule == "dp-shared-rng")
+        assert "normal" in self.BROKEN.splitlines()[line - 1]
+
+    def test_split_streams_are_clean(self):
+        assert "dp-shared-rng" not in rules_of(run(self.SPLIT))
+
+    def test_sampling_only_is_clean(self):
+        sampling = MARKER + """
+class Sampler:
+    def pick(self, n, q):
+        return self.rng.random(n) < q
+"""
+        assert "dp-shared-rng" not in rules_of(run(sampling))
+
+
+class TestNoiseScale:
+    BROKEN = MARKER + """
+def perturb(x, rng):
+    return x + rng.normal(0.0, 1.5, size=x.shape)
+"""
+
+    def test_literal_scale_fires(self):
+        assert "dp-noise-scale" in rules_of(run(self.BROKEN))
+
+    def test_keyword_scale_fires(self):
+        kw = MARKER + """
+def perturb(x, rng):
+    return x + rng.laplace(0.0, scale=2.0, size=x.shape)
+"""
+        assert "dp-noise-scale" in rules_of(run(kw))
+
+    def test_derived_scale_is_clean(self):
+        derived = MARKER + """
+def perturb(x, rng, sigma, clip):
+    return x + rng.normal(0.0, sigma * clip, size=x.shape)
+"""
+        assert "dp-noise-scale" not in rules_of(run(derived))
+
+
+class TestUnaccountedRelease:
+    BROKEN = MARKER + """
+def answer_queries(mechanism, queries):
+    out = []
+    for query in queries:
+        out.append(mechanism.randomize(query))
+    return out
+"""
+
+    ACCOUNTED = MARKER + """
+def answer_queries(self, mechanism, queries):
+    out = []
+    for query in queries:
+        out.append(mechanism.randomize(query))
+        self.accountant.step(1.0, mechanism.sigma)
+    return out
+"""
+
+    COUNTER = MARKER + """
+def answer_queries(self, votes):
+    out = [noisy_max_vote(v, self.eps, self.noise_rng) for v in votes]
+    for v in votes:
+        out.append(noisy_max_vote(v, self.eps, self.noise_rng))
+    self.queries_answered += len(votes)
+    return out
+"""
+
+    def test_unaccounted_loop_fires(self):
+        assert "dp-unaccounted-release" in rules_of(run(self.BROKEN))
+
+    def test_accountant_step_is_clean(self):
+        assert "dp-unaccounted-release" not in rules_of(run(self.ACCOUNTED))
+
+    def test_query_counter_is_clean(self):
+        assert "dp-unaccounted-release" not in rules_of(run(self.COUNTER))
+
+    def test_release_outside_loop_is_clean(self):
+        single = MARKER + """
+def answer_one(mechanism, query):
+    return mechanism.randomize(query)
+"""
+        assert "dp-unaccounted-release" not in rules_of(run(single))
+
+
+class TestEpsilonNoDelta:
+    BROKEN = MARKER + """
+class Accountant:
+    def epsilon_spent(self):
+        return self.total
+"""
+
+    def test_missing_delta_fires(self):
+        assert "dp-epsilon-no-delta" in rules_of(run(self.BROKEN))
+
+    def test_delta_parameter_is_clean(self):
+        with_param = MARKER + """
+class Accountant:
+    def epsilon_spent(self, delta):
+        return self.convert(delta)
+"""
+        assert "dp-epsilon-no-delta" not in rules_of(run(with_param))
+
+    def test_delta_attribute_is_clean(self):
+        with_attr = MARKER + """
+class Accountant:
+    def epsilon_spent(self):
+        return self.convert(self.delta)
+"""
+        assert "dp-epsilon-no-delta" not in rules_of(run(with_attr))
+
+    def test_waiver_for_pure_dp(self):
+        waived = self.BROKEN.replace(
+            "def epsilon_spent(self):",
+            "def epsilon_spent(self):  "
+            "# repro-lint: allow[dp-epsilon-no-delta] pure DP, delta = 0")
+        assert "dp-epsilon-no-delta" not in rules_of(run(waived))
+
+
+class TestIntegration:
+    def test_dp_rules_are_registered(self):
+        assert set(DP_RULES) <= set(lint.RULES)
+
+    def test_repo_privacy_files_are_clean(self):
+        violations = [v for v in lint.lint_paths(["src"])
+                      if v.rule in DP_RULES]
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_multiple_rules_in_one_file(self):
+        combined = MARKER + """
+import numpy as np
+
+class Trainer:
+    def __init__(self):
+        self.rng = np.random.default_rng(0)
+
+    def step(self, n):
+        mask = self.rng.random(n) < 0.1
+        return mask, self.rng.normal(0.0, 2.5, size=n)
+
+    def epsilon(self):
+        return 1.0
+"""
+        found = set(rules_of(run(combined)))
+        assert {"dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
+                "dp-epsilon-no-delta"} <= found

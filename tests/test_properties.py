@@ -276,6 +276,47 @@ class TestPrivacyProperties:
         large = MomentsAccountant().step(q, 1.0, 50).spent(1e-5)
         assert large >= small - 1e-12
 
+    @given(hnp.arrays(np.float64, (8,), elements=finite_floats),
+           st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_is_noop_below_bound(self, vector, bound):
+        norm = float(np.linalg.norm(vector))
+        clipped = clip_by_l2(vector, bound)
+        if norm <= bound:
+            assert np.allclose(clipped, vector)
+
+    @given(st.floats(min_value=0.001, max_value=0.3),
+           st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_epsilon_decreases_with_noise(self, q, sigma):
+        loud = MomentsAccountant().step(q, sigma, 50).spent(1e-5)
+        quiet = MomentsAccountant().step(q, sigma * 2, 50).spent(1e-5)
+        assert quiet <= loud + 1e-12
+
+    @given(st.floats(min_value=0.002, max_value=0.1),
+           st.floats(min_value=0.8, max_value=3.0),
+           st.integers(min_value=10, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_moments_bounded_by_strong_composition(self, q, sigma, steps):
+        from repro.analysis.privacy import strong_composition_bound
+
+        moments = MomentsAccountant().step(q, sigma, steps).spent(1e-5)
+        strong = strong_composition_bound(q, sigma, steps, 1e-5)
+        assert moments <= strong * (1 + 1e-9)
+
+    @given(st.floats(min_value=0.002, max_value=0.5),
+           st.floats(min_value=0.6, max_value=4.0),
+           st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_auditor_matches_accountant(self, q, sigma, steps):
+        # Two independent implementations of the subsampled-Gaussian
+        # RDP bound must agree to numerical precision.
+        from repro.analysis.privacy import independent_epsilon
+
+        accountant = MomentsAccountant().step(q, sigma, steps)
+        eps, _ = independent_epsilon([(q, sigma, steps)], 1e-5)
+        assert eps == pytest.approx(accountant.spent(1e-5), rel=1e-9)
+
 
 class TestQuantizationProperties:
     @given(hnp.arrays(np.float64, (6, 6), elements=finite_floats),
