@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -38,6 +38,14 @@ privacy-audit:
 		--rule dp-fixed-seed --rule dp-shared-rng --rule dp-noise-scale \
 		--rule dp-unaccounted-release --rule dp-epsilon-no-delta
 	python -m repro.analysis.privacy audit --builtin
+
+# Serving gate: plan/eager equivalence across every registered module,
+# batcher policy + fault isolation, and the serving benchmark (which
+# regenerates BENCH_serving.json and asserts plan+batching >= 3x eager
+# with zero arena allocations after warm-up).
+serve-check:
+	python -m pytest tests/test_serve_plan.py tests/test_serve_server.py -q
+	python -m pytest benchmarks/test_serving_bench.py -q
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

@@ -48,6 +48,7 @@ from . import (  # noqa: F401
     optim,
     privacy,
     profiler,
+    serve,
     synth,
     tensor,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "optim",
     "privacy",
     "profiler",
+    "serve",
     "synth",
     "tensor",
     "__version__",

@@ -23,6 +23,13 @@ born from a bug class the hand-written-numpy stack cannot afford:
   ``repro-lint: hot-kernel`` marker: loops over ndarrays in the im2col /
   engine hot path are exactly what PR 1 removed; deliberate reference
   loops carry inline waivers.
+* ``alloc-in-loop`` — no allocating numpy calls (``np.zeros``,
+  ``np.concatenate``, ``np.stack``, ...) inside ``for``/``while`` loops
+  under ``repro/serve/``: the serving runtime's whole contract is
+  zero allocation per replay, and an alloc in a loop is how that
+  contract quietly erodes.  Compile-time allocation loops (weight
+  pinning, per-view buffer setup) and request-collation loops carry
+  inline waivers.
 
 Files tagged with a ``repro-lint: privacy-critical`` marker additionally
 run the five differential-privacy rules from
@@ -46,6 +53,7 @@ from pathlib import Path
 __all__ = ["Violation", "lint_file", "lint_paths", "main", "RULES"]
 
 RULES = ("np-random", "dtype-literal", "param-data", "hot-loop",
+         "alloc-in-loop",
          "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
          "dp-unaccounted-release", "dp-epsilon-no-delta")
 
@@ -55,6 +63,19 @@ NP_RANDOM_ALLOWED = {
 }
 
 FLOAT_DTYPE_LITERALS = {"float32", "float64"}
+
+# numpy calls that allocate a fresh array every time they run.  Inside a
+# loop in the serving runtime these defeat the buffer-arena contract.
+NP_ALLOCATORS = {
+    "empty", "zeros", "ones", "full", "array", "copy",
+    "empty_like", "zeros_like", "ones_like", "full_like",
+    "concatenate", "stack", "vstack", "hstack", "dstack",
+    "column_stack", "pad", "tile", "repeat",
+}
+
+# The alloc-in-loop rule is scoped to the serving runtime (posix
+# substring match): that is where the zero-alloc replay contract lives.
+_ALLOC_SCOPE = ("repro/serve/",)
 
 # The marker must sit in a comment line; string literals mentioning it
 # (like the ones in this file) do not tag a file as hot.
@@ -145,10 +166,12 @@ def _data_mutation_target(node):
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path, np_aliases, hot_file):
+    def __init__(self, path, np_aliases, hot_file, alloc_scoped=False):
         self.path = path
         self.np_aliases = np_aliases
         self.hot_file = hot_file
+        self.alloc_scoped = alloc_scoped
+        self.loop_depth = 0
         self.violations = []
 
     def _report(self, node, rule, message):
@@ -216,7 +239,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_data_write(node.target)
         self.generic_visit(node)
 
-    # -- hot-loop --------------------------------------------------------
+    # -- hot-loop and alloc-in-loop --------------------------------------
     def _check_loop(self, node):
         if self.hot_file:
             self._report(
@@ -224,11 +247,30 @@ class _Visitor(ast.NodeVisitor):
                 "Python loop in a hot-kernel file; vectorize or add a "
                 "waiver comment naming why the loop must stay",
             )
-        self.generic_visit(node)
+        self.loop_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self.loop_depth -= 1
 
     visit_For = _check_loop
     visit_While = _check_loop
     visit_AsyncFor = _check_loop
+
+    def visit_Call(self, node):
+        if self.alloc_scoped and self.loop_depth > 0:
+            chain = _attribute_chain(node.func)
+            if (chain and len(chain) == 2 and chain[0] in self.np_aliases
+                    and chain[1] in NP_ALLOCATORS):
+                self._report(
+                    node, "alloc-in-loop",
+                    "np.{} inside a loop allocates per iteration and "
+                    "breaks the serving arena's zero-alloc replay "
+                    "contract; hoist into a preallocated buffer or add "
+                    "a waiver naming why this runs at compile "
+                    "time".format(chain[1]),
+                )
+        self.generic_visit(node)
 
 
 def _path_allowed(rule, posix_path):
@@ -247,8 +289,11 @@ def lint_file(path, text=None):
                           "file does not parse: {}".format(error.msg))]
     lines = text.splitlines()
     allows = _inline_allows(lines)
+    posix = path.as_posix()
     visitor = _Visitor(str(path), _numpy_aliases(tree),
-                       bool(_HOT_MARKER_RE.search(text)))
+                       bool(_HOT_MARKER_RE.search(text)),
+                       alloc_scoped=any(part in posix
+                                        for part in _ALLOC_SCOPE))
     visitor.visit(tree)
     found = list(visitor.violations)
     if _PRIVACY_MARKER_RE.search(text):
@@ -256,7 +301,6 @@ def lint_file(path, text=None):
         # package, which the base linter must not pay for on every file.
         from .privacy.rules import dp_lint
         found.extend(dp_lint(str(path), tree))
-    posix = path.as_posix()
     kept = []
     for violation in found:
         if _path_allowed(violation.rule, posix):

@@ -44,10 +44,12 @@ benchmarks/README.md for measured numbers.
 
 from __future__ import annotations
 
+import os
 import zlib
 
 import numpy as np
 
+from ..nn import module as module_mod
 from ..tensor import Tensor
 from ..tensor import tensor as tensor_mod
 
@@ -83,10 +85,22 @@ class sanitize:
     nan_check:
         If True, every op output is checked with ``np.isfinite`` and the
         first offending op raises :class:`NumericError`.
+    strict:
+        If True, freeze/checksum capture also runs inside eval-mode
+        ``Module`` forwards.  By default capture is skipped there: an
+        inference-only forward never calls ``backward()``, so there is no
+        forward-to-backward window for a mutation to corrupt, and the
+        serving path should not pay for flag flips and checksums.  The
+        default follows the ``REPRO_SANITIZE`` environment variable so
+        the sanitized test suite keeps full coverage.  The NaN tripwire
+        is unaffected — it guards outputs, not the backward contract.
     """
 
-    def __init__(self, nan_check=False):
+    def __init__(self, nan_check=False, strict=None):
         self.nan_check = nan_check
+        if strict is None:
+            strict = os.environ.get("REPRO_SANITIZE") == "1"
+        self.strict = strict
         self._frozen = []        # arrays we set writeable=False on
         self._checksums = []     # (array, checksum) pairs for views
         self._seen = set()       # id()s already captured
@@ -106,6 +120,10 @@ class sanitize:
                 "op '{}' produced a non-finite value (NaN/Inf) in an output "
                 "of shape {}".format(_op_name(backward), data.shape)
             )
+        if module_mod._inference_depth > 0 and not self.strict:
+            # Eval-mode forward: no backward will run, so mutation
+            # capture protects nothing — skip the checksum work.
+            return
         self._capture(data)
         for cell in getattr(backward, "__closure__", None) or ():
             try:

@@ -10,14 +10,18 @@ finds the best partition point.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..mobile.cost import ModelCostProfile
 from ..mobile.simulator import ExecutionCost, estimate_execution, estimate_transfer
 
 __all__ = ["DeploymentReport", "cost_on_device", "cost_on_cloud",
            "cost_split", "best_split", "compare_strategies",
-           "plan_with_fallback"]
+           "plan_with_fallback", "measure_host_gflops",
+           "cost_on_device_measured"]
 
 
 @dataclass
@@ -52,6 +56,60 @@ class DeploymentReport:
 def cost_on_device(profile, device):
     """Everything runs locally; nothing crosses the network."""
     return DeploymentReport("on-device", estimate_execution(profile, device))
+
+
+def measure_host_gflops(size=192, repeats=5):
+    """Effective dense-matmul throughput of this host in GFLOP/s.
+
+    A square float32 matmul is the same kernel family the serving plans
+    spend their time in, so the ratio ``host_gflops / device.gflops``
+    translates a *measured* host replay time into a device estimate —
+    replacing the analytic FLOP count with what the runtime actually does
+    (python step overhead, gather indices, cache behaviour included).
+    """
+    a = np.full((size, size), 1.0 / size, dtype=np.float32)  # repro-lint: allow[dtype-literal] device GFLOP ratings are quoted for fp32; the probe must match
+    b = np.full((size, size), 0.5, dtype=np.float32)  # repro-lint: allow[dtype-literal] fp32 throughput probe
+    out = np.empty((size, size), dtype=np.float32)  # repro-lint: allow[dtype-literal] fp32 throughput probe
+    np.matmul(a, b, out=out)  # warm the BLAS threads
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.matmul(a, b, out=out)
+        best = min(best, time.perf_counter() - start)
+    return (2.0 * size ** 3) / best / 1e9
+
+
+def cost_on_device_measured(profile, device, module=None, example_input=None,
+                            plan=None, host_gflops=None, repeats=10):
+    """On-device cost from a *measured* compiled-plan replay.
+
+    Instead of pricing the analytic FLOP count, this compiles ``module``
+    into a :class:`repro.serve.Plan` (or uses a prebuilt ``plan``),
+    measures its replay wall-clock on this host, and rescales by the
+    host-to-device throughput ratio.  The energy model keeps the analytic
+    compute/memory terms (they depend on the operation mix, not the
+    clock) but charges idle power for the measured duration.
+    """
+    from ..serve import compile_plan
+
+    if plan is None:
+        if module is None or example_input is None:
+            raise ValueError(
+                "pass either a compiled plan or (module, example_input)"
+            )
+        plan = compile_plan(module, example_input)
+    host_seconds = plan.measure(example_input, repeats=repeats)
+    if host_gflops is None:
+        host_gflops = measure_host_gflops()
+    latency = host_seconds * (host_gflops / device.gflops)
+    analytic = estimate_execution(profile, device)
+    energy = (analytic.device_energy_j
+              - device.idle_power_w * analytic.latency_s
+              + device.idle_power_w * latency)
+    return DeploymentReport(
+        "on-device(measured)",
+        ExecutionCost(latency_s=latency, device_energy_j=energy),
+    )
 
 
 def cost_on_cloud(profile, device, cloud, link, result_bytes=64):
@@ -108,12 +166,15 @@ def best_split(profile, device, cloud, link, objective="latency",
     return best_report[1]
 
 
-def compare_strategies(profile, device, cloud, link, result_bytes=64):
+def compare_strategies(profile, device, cloud, link, result_bytes=64,
+                       module=None, example_input=None):
     """All strategies side by side; returns a list of DeploymentReport.
 
     Strategies that need a dead link come back with ``feasible=False``
     (infinite latency) rather than being dropped, so tables still show
-    every row.
+    every row.  When ``module`` and ``example_input`` are given an extra
+    ``on-device(measured)`` row prices the device strategy from an actual
+    compiled-plan replay instead of the analytic FLOP count.
     """
     reports = [
         cost_on_device(profile, device),
@@ -121,6 +182,9 @@ def compare_strategies(profile, device, cloud, link, result_bytes=64):
         best_split(profile, device, cloud, link, objective="latency",
                    result_bytes=result_bytes),
     ]
+    if module is not None and example_input is not None:
+        reports.append(cost_on_device_measured(
+            profile, device, module=module, example_input=example_input))
     return reports
 
 

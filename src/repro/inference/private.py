@@ -65,7 +65,7 @@ class PrivateLocalTransformer:
     """
 
     def __init__(self, local_net, nullification_rate=0.1, noise_sigma=1.0,
-                 bound=10.0, seed=0):
+                 bound=10.0, seed=0, use_plan=True):
         if not 0.0 <= nullification_rate < 1.0:
             raise ValueError("nullification_rate must be in [0, 1)")
         if noise_sigma < 0:
@@ -78,19 +78,51 @@ class PrivateLocalTransformer:
         self.noise_sigma = noise_sigma
         self.bound = bound
         self.rng = np.random.default_rng(seed)
+        # The local net is frozen by construction, which is exactly the
+        # contract the serving plan executor needs: compile the forward
+        # once, replay it per query with no graph or allocations.
+        self.use_plan = use_plan
+        self._plan = None
+
+    def _forward(self, array):
+        """Frozen forward through the compiled plan (eager fallback)."""
+        if self.use_plan:
+            from ..serve import UnsupportedModuleError, compile_plan
+
+            try:
+                if self._plan is None:
+                    self._plan = compile_plan(self.local_net, array)
+                representation = self._plan.run(array)
+            except UnsupportedModuleError:
+                # A local net with an un-planned layer still works; it
+                # just pays the eager path.
+                self.use_plan = False
+            else:
+                # The plan bypasses the autodiff engine, so re-attach the
+                # taint label the engine's hook would have propagated.
+                flow.mark_derived(representation, (array,))
+                return representation
+        with no_grad():
+            inputs = Tensor(array)
+            # Tensor() casts non-float inputs; re-mark the actual array
+            # the graph will see so the taint label is not lost.
+            flow.mark_private(inputs.data)
+            return self.local_net(inputs).numpy()
 
     def extract(self, features):
         """Frozen forward pass producing the clipped raw representation.
 
         Runs at whatever float dtype ``features`` carries (float32 inputs
         stay float32 end to end, halving device-side memory traffic).
+        Served from a compiled :class:`repro.serve.Plan` when the local
+        net supports it (``use_plan``), eagerly otherwise.
         """
-        inputs = Tensor(np.asarray(features))
+        array = np.asarray(features)
         # Raw device data is the private source; the taint tracker (when
         # active) propagates the label through every local-net op.
-        flow.mark_private(inputs.data)
-        with no_grad(), profiler.timer("private_inference.extract"):
-            representation = self.local_net(inputs).numpy()
+        flow.mark_private(array)
+        with profiler.timer("private_inference.extract"):
+            representation = self._forward(array)
         norms = np.linalg.norm(representation, axis=1, keepdims=True)
         scale = np.minimum(1.0, self.bound / np.maximum(norms, 1e-12))
         clipped = (representation * scale).astype(representation.dtype,

@@ -16,6 +16,13 @@ __all__ = ["Parameter", "Module", "Sequential"]
 # time can be attributed; the ``is None`` check keeps the normal path free.
 _forward_hook = None
 
+# Depth of eval-mode ``Module.__call__`` frames currently on the stack.
+# Inference-aware instrumentation (the mutation sanitizer's checksum
+# capture) reads this to skip work that only protects *training* graphs:
+# an eval-mode forward never runs backward, so there is no
+# forward-to-backward window for an in-place mutation to corrupt.
+_inference_depth = 0
+
 
 class Parameter(Tensor):
     """A :class:`Tensor` that is registered as a trainable model weight.
@@ -178,9 +185,18 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        if _forward_hook is not None:
-            return _forward_hook(self, args, kwargs)
-        return self.forward(*args, **kwargs)
+        if self.training:
+            if _forward_hook is not None:
+                return _forward_hook(self, args, kwargs)
+            return self.forward(*args, **kwargs)
+        global _inference_depth
+        _inference_depth += 1
+        try:
+            if _forward_hook is not None:
+                return _forward_hook(self, args, kwargs)
+            return self.forward(*args, **kwargs)
+        finally:
+            _inference_depth -= 1
 
     def __repr__(self):
         child_lines = [

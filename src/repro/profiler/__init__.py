@@ -23,6 +23,7 @@ from .core import (
     profile,
     record_bytes,
     record_event,
+    record_time,
     report,
     reset,
     timer,
@@ -36,6 +37,7 @@ __all__ = [
     "profile",
     "record_bytes",
     "record_event",
+    "record_time",
     "report",
     "reset",
     "timer",

@@ -34,6 +34,7 @@ __all__ = [
     "profile",
     "timer",
     "record_bytes",
+    "record_time",
     "record_event",
     "get_stats",
     "report",
@@ -168,6 +169,21 @@ def timer(label):
 def record_bytes(label, count):
     """Manually account ``count`` bytes under ``label`` (e.g. uplink traffic)."""
     _State.extra_bytes[label] = _State.extra_bytes.get(label, 0) + int(count)
+
+
+def record_time(label, seconds):
+    """Accumulate an externally measured duration under a scoped-timer label.
+
+    The non-context-manager twin of :func:`timer` for callers that already
+    hold a measured duration (the serving runtime's per-request latency
+    accounting, a plan's replayed-forward time).  Records regardless of
+    :func:`enable`, like :func:`timer`.
+    """
+    stat = _State.timers.get(label)
+    if stat is None:
+        stat = _State.timers[label] = _TimeStat()
+    stat.calls += 1
+    stat.seconds += float(seconds)
 
 
 def record_event(label, count=1):

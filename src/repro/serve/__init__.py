@@ -1,0 +1,42 @@
+"""Serving runtime: compiled inference plans, buffer arenas, batching.
+
+The training stack builds an autodiff graph per forward — closures,
+parent tuples, gradient bookkeeping, and a fresh allocation for every
+intermediate.  None of that is needed to *serve* a trained model, and on
+the phone-sized models this repo targets the bookkeeping is a large
+fraction of per-request latency.  This package provides the
+inference-only path:
+
+* :func:`compile_plan` / :class:`Plan` — capture a module's forward once
+  and replay it with zero graph construction and zero per-request
+  allocation (:mod:`repro.serve.plan`);
+* :class:`BufferArena` — the preallocated intermediate storage a plan
+  replays into (:mod:`repro.serve.arena`);
+* :class:`InferenceServer` — dynamic request batching with
+  latency/throughput policy knobs (:mod:`repro.serve.server`).
+"""
+
+from .arena import ArenaFrozenError, BufferArena
+from .plan import (
+    Plan,
+    PlanContext,
+    PlanVerificationError,
+    UnsupportedModuleError,
+    compile_plan,
+    register_plan_rule,
+)
+from .server import InferenceServer, Request, SimulatedClock
+
+__all__ = [
+    "ArenaFrozenError",
+    "BufferArena",
+    "Plan",
+    "PlanContext",
+    "PlanVerificationError",
+    "UnsupportedModuleError",
+    "compile_plan",
+    "register_plan_rule",
+    "InferenceServer",
+    "Request",
+    "SimulatedClock",
+]

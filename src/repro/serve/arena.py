@@ -1,0 +1,56 @@
+"""Preallocated buffer arena for the plan executor.
+
+Every intermediate a compiled plan writes lives in one of these arenas.
+Buffers are allocated exactly once, at compile (trace) time; after the
+arena is frozen, any attempt to allocate from a replay step raises
+immediately instead of silently growing memory per request.  The arena
+reports every allocation to :func:`repro.profiler.record_bytes` under
+the ``serve.arena`` label, which is what the serving benchmark's
+zero-allocation-after-warm-up assertion reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import profiler
+
+__all__ = ["BufferArena", "ArenaFrozenError"]
+
+
+class ArenaFrozenError(RuntimeError):
+    """A replay step tried to allocate after compilation finished."""
+
+
+class BufferArena:
+    """Owns the preallocated numpy buffers of one compiled trace."""
+
+    def __init__(self):
+        self._buffers = []
+        self.nbytes = 0
+        self.frozen = False
+
+    def alloc(self, shape, dtype):
+        """Allocate a zero-initialised buffer (compile time only)."""
+        if self.frozen:
+            raise ArenaFrozenError(
+                "arena is frozen: plan replay must not allocate buffers "
+                "(requested shape {} dtype {})".format(shape, np.dtype(dtype))
+            )
+        buffer = np.zeros(shape, dtype=dtype)
+        self._buffers.append(buffer)
+        self.nbytes += buffer.nbytes
+        profiler.record_bytes("serve.arena", buffer.nbytes)
+        return buffer
+
+    def alloc_like(self, array):
+        """Allocate a buffer with ``array``'s shape and dtype."""
+        return self.alloc(array.shape, array.dtype)
+
+    def freeze(self):
+        """Seal the arena; later :meth:`alloc` calls raise."""
+        self.frozen = True
+        return self
+
+    def __len__(self):
+        return len(self._buffers)

@@ -1,0 +1,356 @@
+"""Dynamic request batching in front of a compiled plan.
+
+Mobile/edge serving (paper Sec. III) sees single requests arrive at
+arbitrary times, but the plan executor is most efficient on batches: one
+replay amortises the python-level step overhead over every row.  The
+:class:`InferenceServer` bridges the two with the standard
+latency/throughput policy pair:
+
+* ``max_batch_size`` — flush as soon as this many compatible requests
+  are queued (throughput bound);
+* ``max_wait_ms`` — flush a partial batch once its oldest request has
+  waited this long (latency bound).
+
+Requests are grouped into *buckets* by a collator-defined key (feature
+dimension, padded sequence length), padded to a small set of batch
+sizes, and replayed through one :class:`~repro.serve.plan.Plan` — so the
+plan compiles a handful of traces and then serves from frozen arenas.
+
+**Fault isolation**: a failing request must not poison its batchmates.
+Malformed inputs are rejected at submit time with the error stored on
+that request's ticket; if a *batched* replay raises, the server falls
+back to running each request alone (counted under the
+``serve.batch_fallback`` profiler event) so only the genuinely bad
+request fails; and every output row is checked for NaN/Inf so numeric
+corruption in one row (e.g. an injected sensor fault) raises
+:class:`~repro.analysis.sanitize.NumericError` on that ticket only.
+
+Time is injectable for tests: pass ``clock=SimulatedClock()`` and drive
+it with :meth:`SimulatedClock.advance`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import profiler
+from ..analysis.sanitize import NumericError
+
+__all__ = [
+    "InferenceServer",
+    "Request",
+    "SimulatedClock",
+    "VectorCollator",
+    "SequenceCollator",
+    "MultiViewCollator",
+]
+
+
+class SimulatedClock:
+    """Deterministic clock for tests: starts at 0, advanced manually."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+        return self.now
+
+    def __call__(self):
+        return self.now
+
+
+class Request:
+    """Ticket for one submitted input; resolved when its batch runs."""
+
+    __slots__ = ("payload", "submitted_at", "done", "_result", "_error",
+                 "latency")
+
+    def __init__(self, payload, submitted_at):
+        self.payload = payload
+        self.submitted_at = submitted_at
+        self.done = False
+        self._result = None
+        self._error = None
+        self.latency = None
+
+    def result(self):
+        """Return the output row, or raise the error this request hit."""
+        if not self.done:
+            raise RuntimeError(
+                "request not completed yet; call server.flush() or poll()"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def failed(self):
+        return self.done and self._error is not None
+
+    def _resolve(self, result, error, now):
+        self._result = result
+        self._error = error
+        self.done = True
+        self.latency = now - self.submitted_at
+        profiler.record_time("serve.request_latency", self.latency)
+
+
+def _bucket_size(count, maximum):
+    """Smallest power of two >= count, capped at ``maximum``."""
+    size = 1
+    while size < count:
+        size *= 2
+    return min(size, maximum)
+
+
+class VectorCollator:
+    """Batch fixed-size feature vectors: key = (features, dtype)."""
+
+    def validate(self, payload):
+        array = np.asarray(payload)
+        if array.ndim != 1:
+            raise ValueError(
+                "expected a 1-D feature vector, got shape {}".format(array.shape)
+            )
+        return array
+
+    def bucket_key(self, payload):
+        return (payload.shape[0], payload.dtype.str)
+
+    def collate(self, payloads, batch_size):
+        batch = np.zeros((batch_size,) + payloads[0].shape, payloads[0].dtype)
+        for row, payload in enumerate(payloads):
+            batch[row] = payload
+        return batch
+
+
+class SequenceCollator:
+    """Batch variable-length (time, features) sequences with a mask.
+
+    Sequences are right-padded to the bucket's power-of-two length; the
+    plan input is the ``(padded, mask)`` pair the recurrent layers
+    expect, so padding never contaminates the hidden state.
+    """
+
+    def __init__(self, max_length=512):
+        self.max_length = max_length
+
+    def validate(self, payload):
+        array = np.asarray(payload)
+        if array.ndim != 2:
+            raise ValueError(
+                "expected a (time, features) sequence, got shape {}".format(
+                    array.shape
+                )
+            )
+        if array.shape[0] > self.max_length:
+            raise ValueError(
+                "sequence length {} exceeds max_length {}".format(
+                    array.shape[0], self.max_length
+                )
+            )
+        return array
+
+    def bucket_key(self, payload):
+        return (
+            _bucket_size(payload.shape[0], self.max_length),
+            payload.shape[1],
+            payload.dtype.str,
+        )
+
+    def collate(self, payloads, batch_size):
+        steps = _bucket_size(
+            max(p.shape[0] for p in payloads), self.max_length
+        )
+        features = payloads[0].shape[1]
+        dtype = payloads[0].dtype
+        padded = np.zeros((batch_size, steps, features), dtype)
+        mask = np.zeros((batch_size, steps), dtype)
+        for row, payload in enumerate(payloads):
+            padded[row, :payload.shape[0]] = payload
+            mask[row, :payload.shape[0]] = 1.0
+        return (padded, mask)
+
+
+class MultiViewCollator:
+    """Batch DeepMood-style multi-view requests.
+
+    Each payload is a list of per-view (time, features) arrays — one
+    entry per view, lengths may differ across views.  Collation pads
+    each view independently and emits the list of ``(padded, mask)``
+    pairs :class:`~repro.core.model.MultiViewGRUClassifier` consumes.
+    """
+
+    def __init__(self, view_dims, max_length=512):
+        self.view_dims = tuple(view_dims)
+        self.max_length = max_length
+
+    def validate(self, payload):
+        if len(payload) != len(self.view_dims):
+            raise ValueError(
+                "expected {} views, got {}".format(
+                    len(self.view_dims), len(payload)
+                )
+            )
+        views = []
+        for dim, view in zip(self.view_dims, payload):
+            array = np.asarray(view)
+            if array.ndim != 2 or array.shape[1] != dim:
+                raise ValueError(
+                    "expected a (time, {}) view, got shape {}".format(
+                        dim, array.shape
+                    )
+                )
+            views.append(array)
+        return views
+
+    def bucket_key(self, payload):
+        return tuple(
+            (_bucket_size(view.shape[0], self.max_length), view.dtype.str)
+            for view in payload
+        )
+
+    def collate(self, payloads, batch_size):
+        collated = []
+        for index in range(len(self.view_dims)):
+            views = [payload[index] for payload in payloads]
+            steps = _bucket_size(
+                max(v.shape[0] for v in views), self.max_length
+            )
+            dtype = views[0].dtype
+            padded = np.zeros((batch_size, steps, self.view_dims[index]), dtype)  # repro-lint: allow[alloc-in-loop] collation builds the batch, not a replay step
+            mask = np.zeros((batch_size, steps), dtype)  # repro-lint: allow[alloc-in-loop] collation builds the batch, not a replay step
+            for row, view in enumerate(views):
+                padded[row, :view.shape[0]] = view
+                mask[row, :view.shape[0]] = 1.0
+            collated.append((padded, mask))
+        return collated
+
+
+class InferenceServer:
+    """Queue requests, coalesce compatible ones, serve them from a plan.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.serve.plan.Plan` (or anything with a matching
+        ``run(inputs, copy=...)``) producing one output row per batch row.
+    collator:
+        Groups and pads requests; one of the collators in this module or
+        a compatible object (``validate`` / ``bucket_key`` / ``collate``).
+    max_batch_size:
+        Flush a bucket as soon as it holds this many requests.
+    max_wait_ms:
+        Flush a bucket once its oldest request has waited this long.
+    clock:
+        Zero-argument callable returning seconds; defaults to
+        ``time.monotonic``.  Tests inject :class:`SimulatedClock`.
+    """
+
+    def __init__(self, plan, collator, max_batch_size=8, max_wait_ms=2.0,
+                 clock=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.plan = plan
+        self.collator = collator
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.clock = clock if clock is not None else time.monotonic
+        self._queues = {}  # bucket key -> list of Request
+        self.served = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # Submission and scheduling
+    # ------------------------------------------------------------------
+    def submit(self, payload):
+        """Enqueue one request; returns its :class:`Request` ticket.
+
+        Malformed payloads resolve immediately with the validation error
+        on the ticket — they never enter a batch.
+        """
+        now = self.clock()
+        try:
+            validated = self.collator.validate(payload)
+        except Exception as error:
+            ticket = Request(payload, now)
+            ticket._resolve(None, error, now)
+            return ticket
+        ticket = Request(validated, now)
+        key = self.collator.bucket_key(validated)
+        queue = self._queues.setdefault(key, [])
+        queue.append(ticket)
+        if len(queue) >= self.max_batch_size:
+            self._run_bucket(key)
+        return ticket
+
+    def poll(self):
+        """Flush every bucket whose oldest request exceeded ``max_wait_ms``."""
+        now = self.clock()
+        deadline = self.max_wait_ms / 1000.0
+        for key in list(self._queues):
+            queue = self._queues[key]
+            if queue and now - queue[0].submitted_at >= deadline:
+                self._run_bucket(key)
+
+    def flush(self):
+        """Run every pending bucket regardless of batching policy."""
+        for key in list(self._queues):
+            if self._queues[key]:
+                self._run_bucket(key)
+
+    @property
+    def pending(self):
+        """Number of queued, unresolved requests."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _run_bucket(self, key):
+        tickets = self._queues.pop(key, [])
+        if not tickets:
+            return
+        batch_size = _bucket_size(len(tickets), self.max_batch_size)
+        payloads = [t.payload for t in tickets]
+        try:
+            batch = self.collator.collate(payloads, batch_size)
+            rows = self.plan.run(batch, copy=False)
+        except Exception:
+            # The batch as a whole failed (shape mismatch, retrace error,
+            # numeric tripwire).  Retry each request alone so one bad
+            # input cannot poison its batchmates.
+            profiler.record_event("serve.batch_fallback")
+            self._run_individually(tickets)
+            return
+        self._resolve_rows(tickets, rows)
+        self.batches += 1
+
+    def _run_individually(self, tickets):
+        for ticket in tickets:
+            try:
+                batch = self.collator.collate([ticket.payload], 1)
+                rows = self.plan.run(batch, copy=False)
+            except Exception as error:  # repro-lint: allow[alloc-in-loop] fallback path, one request at a time
+                ticket._resolve(None, error, self.clock())
+                continue
+            self._resolve_rows([ticket], rows)
+        self.batches += 1
+
+    def _resolve_rows(self, tickets, rows):
+        now = self.clock()
+        rows = np.asarray(rows)
+        for index, ticket in enumerate(tickets):
+            row = np.array(rows[index], copy=True)  # repro-lint: allow[alloc-in-loop] per-request result copy out of the arena
+            if np.issubdtype(row.dtype, np.floating) \
+                    and not np.all(np.isfinite(row)):
+                ticket._resolve(None, NumericError(
+                    "inference output for this request contains NaN/Inf "
+                    "(row {} of a batch of {})".format(index, len(tickets))
+                ), now)
+            else:
+                ticket._resolve(row, None, now)
+            self.served += 1

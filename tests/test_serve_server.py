@@ -1,0 +1,221 @@
+"""Dynamic batcher: policy, bucketing, and per-request fault isolation.
+
+Batching must never change an answer (padded batching + masks reproduce
+the lone-request result), and one bad request must never poison its
+batchmates — injected NaN corruption (via :func:`repro.faults.corrupt_state`)
+fails exactly one ticket, malformed payloads never enter a batch, and a
+batch-level crash falls back to per-request execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, profiler
+from repro.analysis.sanitize import NumericError
+from repro.core.model import MultiViewGRUClassifier
+from repro.faults import corrupt_state
+from repro.serve import InferenceServer, SimulatedClock, compile_plan
+from repro.serve.server import (
+    MultiViewCollator,
+    SequenceCollator,
+    VectorCollator,
+    _bucket_size,
+)
+from repro.tensor import Tensor, no_grad
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _vector_server(max_batch_size=4, max_wait_ms=2.0, features=6, out=3):
+    module = nn.Linear(features, out, rng=_rng(0))
+    module.eval()
+    clock = SimulatedClock()
+    plan = compile_plan(module, np.zeros((max_batch_size, features)))
+    server = InferenceServer(plan, VectorCollator(),
+                             max_batch_size=max_batch_size,
+                             max_wait_ms=max_wait_ms, clock=clock)
+    return server, module, clock
+
+
+def _eager_row(module, vector):
+    module.eval()
+    with no_grad():
+        return module(Tensor(vector[None, :])).numpy()[0]
+
+
+def test_bucket_size_rounds_to_power_of_two():
+    assert [_bucket_size(n, 8) for n in (1, 2, 3, 5, 8, 9)] == \
+        [1, 2, 4, 8, 8, 8]
+
+
+def test_full_bucket_flushes_at_submit():
+    server, module, _ = _vector_server(max_batch_size=3)
+    payloads = [_rng(i + 1).standard_normal(6) for i in range(3)]
+    tickets = [server.submit(p) for p in payloads]
+    assert tickets[0].done and tickets[-1].done
+    assert server.pending == 0
+    assert server.batches == 1
+    for ticket, payload in zip(tickets, payloads):
+        np.testing.assert_allclose(ticket.result(),
+                                   _eager_row(module, payload), rtol=1e-7)
+
+
+def test_partial_bucket_waits_for_deadline():
+    server, module, clock = _vector_server(max_batch_size=8, max_wait_ms=5.0)
+    ticket = server.submit(_rng(1).standard_normal(6))
+    server.poll()
+    assert not ticket.done and server.pending == 1
+    clock.advance(0.004)
+    server.poll()  # 4 ms < 5 ms: still waiting
+    assert not ticket.done
+    clock.advance(0.002)
+    server.poll()  # 6 ms >= 5 ms: deadline flush
+    assert ticket.done
+    assert ticket.latency == pytest.approx(0.006)
+
+
+def test_incompatible_requests_bucket_separately():
+    module = nn.GRU(4, 5, rng=_rng(0))
+    module.eval()
+    plan = compile_plan(module, (np.zeros((2, 4, 4)), np.ones((2, 4))))
+    server = InferenceServer(plan, SequenceCollator(max_length=16),
+                             max_batch_size=8, clock=SimulatedClock())
+    short = _rng(1).standard_normal((3, 4))   # buckets to length 4
+    long = _rng(2).standard_normal((9, 4))    # buckets to length 16
+    t_short, t_long = server.submit(short), server.submit(long)
+    assert len(server._queues) == 2
+    server.flush()
+    # Padded batching must reproduce the lone, unpadded eager result.
+    for ticket, seq in ((t_short, short), (t_long, long)):
+        with no_grad():
+            expected = module(Tensor(seq[None]), mask=None).numpy()[0]
+        np.testing.assert_allclose(ticket.result(), expected,
+                                   rtol=1e-7, atol=1e-9)
+
+
+def test_same_bucket_mixed_lengths_match_lone_results():
+    module = nn.GRU(4, 5, rng=_rng(0))
+    module.eval()
+    plan = compile_plan(module, (np.zeros((2, 4, 4)), np.ones((2, 4))))
+    server = InferenceServer(plan, SequenceCollator(max_length=16),
+                             max_batch_size=2, clock=SimulatedClock())
+    seqs = [_rng(3).standard_normal((3, 4)), _rng(4).standard_normal((4, 4))]
+    tickets = [server.submit(s) for s in seqs]
+    assert all(t.done for t in tickets)  # both bucket to length 4: one batch
+    assert server.batches == 1
+    for ticket, seq in zip(tickets, seqs):
+        with no_grad():
+            expected = module(Tensor(seq[None]), mask=None).numpy()[0]
+        np.testing.assert_allclose(ticket.result(), expected,
+                                   rtol=1e-7, atol=1e-9)
+
+
+def test_malformed_payload_fails_alone_at_submit():
+    server, module, _ = _vector_server(max_batch_size=4)
+    bad = server.submit(np.zeros((2, 6)))  # 2-D where a vector is expected
+    assert bad.done and bad.failed
+    with pytest.raises(ValueError):
+        bad.result()
+    assert server.pending == 0  # never entered a queue
+    good = [server.submit(_rng(i + 1).standard_normal(6)) for i in range(4)]
+    assert all(t.done and not t.failed for t in good)
+
+
+def test_nan_corruption_fails_only_the_corrupted_request():
+    server, module, _ = _vector_server(max_batch_size=3)
+    payloads = [_rng(i + 1).standard_normal(6) for i in range(3)]
+    # Reuse the federated stack's fault injection: NaN-splatter one payload.
+    payloads[1] = corrupt_state({"x": payloads[1]}, _rng(9), fraction=0.3)["x"]
+    tickets = [server.submit(p) for p in payloads]
+    assert all(t.done for t in tickets)
+    assert tickets[1].failed
+    with pytest.raises(NumericError):
+        tickets[1].result()
+    for index in (0, 2):
+        assert not tickets[index].failed
+        np.testing.assert_allclose(tickets[index].result(),
+                                   _eager_row(module, payloads[index]),
+                                   rtol=1e-7)
+
+
+def test_batch_failure_falls_back_to_individual_requests():
+    server, module, _ = _vector_server(max_batch_size=2)
+
+    class FlakyPlan:
+        def __init__(self, plan):
+            self.plan = plan
+            self.batch_calls = 0
+
+        def run(self, inputs, copy=True):
+            if np.asarray(inputs).shape[0] > 1:
+                self.batch_calls += 1
+                raise RuntimeError("injected batch-level crash")
+            return self.plan.run(inputs, copy=copy)
+
+    server.plan = FlakyPlan(server.plan)
+    profiler.reset()
+    payloads = [_rng(i + 1).standard_normal(6) for i in range(2)]
+    tickets = [server.submit(p) for p in payloads]
+    events = profiler.get_stats()["events"]
+    profiler.reset()
+    assert events.get("serve.batch_fallback") == 1
+    assert server.plan.batch_calls == 1
+    for ticket, payload in zip(tickets, payloads):
+        assert not ticket.failed
+        np.testing.assert_allclose(ticket.result(),
+                                   _eager_row(module, payload), rtol=1e-7)
+
+
+def test_latency_is_recorded_per_request():
+    server, _, clock = _vector_server(max_batch_size=8, max_wait_ms=1.0)
+    profiler.reset()
+    first = server.submit(_rng(1).standard_normal(6))
+    clock.advance(0.0005)
+    second = server.submit(_rng(2).standard_normal(6))
+    clock.advance(0.0006)
+    server.poll()
+    timers = profiler.get_stats()["timers"]
+    profiler.reset()
+    assert first.latency == pytest.approx(0.0011)
+    assert second.latency == pytest.approx(0.0006)
+    stat = timers["serve.request_latency"]
+    assert stat["calls"] == 2
+    assert stat["seconds"] == pytest.approx(0.0017)
+
+
+def test_multiview_requests_served_end_to_end():
+    view_dims = (4, 6, 3)
+    model = MultiViewGRUClassifier(view_dims, hidden_size=8, fusion="mvm",
+                                   fusion_units=4, seed=5)
+    model.eval()
+    collator = MultiViewCollator(view_dims, max_length=16)
+    example = collator.collate(
+        [[np.zeros((4, d)) for d in view_dims]], 2)
+    plan = compile_plan(model, example)
+    server = InferenceServer(plan, collator, max_batch_size=2,
+                             clock=SimulatedClock())
+    requests = [
+        [_rng(10 + i * 3 + j).standard_normal((3 + j, d))
+         for j, d in enumerate(view_dims)]
+        for i in range(2)
+    ]
+    tickets = [server.submit(r) for r in requests]
+    assert all(t.done for t in tickets)
+    for ticket, views in zip(tickets, requests):
+        with no_grad():
+            expected = model(collator.collate([views], 1)).numpy()[0]
+        np.testing.assert_allclose(ticket.result(), expected,
+                                   rtol=1e-7, atol=1e-9)
+
+
+def test_unpolled_requests_stay_pending():
+    server, _, clock = _vector_server(max_batch_size=8, max_wait_ms=2.0)
+    ticket = server.submit(_rng(1).standard_normal(6))
+    clock.advance(1.0)  # way past the deadline, but nobody polled
+    assert not ticket.done and server.pending == 1
+    with pytest.raises(RuntimeError):
+        ticket.result()
+    server.flush()
+    assert ticket.done
