@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check train-check bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit serve-check bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check train-check bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -46,6 +46,15 @@ privacy-audit:
 serve-check:
 	python -m pytest tests/test_serve_plan.py tests/test_serve_server.py -q
 	python -m pytest benchmarks/test_serving_bench.py -q
+
+# Training gate: compiled plan/eager training equivalence across every
+# registered module, the multi-process trainer's determinism and its
+# DP-SGD / FedAvg integrations, and the training benchmark (which
+# regenerates BENCH_training.json and asserts the compiled step >= 2x
+# eager with zero arena allocations after the compile-time freeze).
+train-check:
+	python -m pytest tests/test_train_plan.py tests/test_train_parallel.py -q
+	python -m pytest benchmarks/test_training_bench.py -q
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

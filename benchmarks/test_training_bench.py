@@ -1,0 +1,193 @@
+"""Training-path benchmark: eager vs compiled plan vs plan + data-parallel.
+
+The workload is training the DeepMood GRU classifier (three
+typing-dynamics views, MVM fusion) with cross-entropy + SGD — the
+paper's on-device personalization loop.  Three strategies run the same
+fixed-shape step stream from identical initial weights:
+
+* **eager** — autodiff-engine forward+backward and an eager SGD step
+  per batch (the seed path);
+* **plan** — one compiled :class:`repro.train.TrainPlan` step per batch
+  (zero-arg closures over the frozen arena, no graph, no allocations);
+* **plan_parallel** — the same compiled step sharded across forked
+  workers by :class:`repro.train.ParallelTrainer`.  Informational on
+  small machines: with one core the fork/IPC overhead dominates, so no
+  speedup is asserted for this row.
+
+Asserts the acceptance bar — compiled single-process training at least
+2x the eager step rate — and the arena contract: zero new training
+allocations after the compile-time freeze.  Results go to
+``BENCH_training.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import profiler
+from repro.core.model import MultiViewGRUClassifier
+from repro.nn import losses
+from repro.optim import SGD
+from repro.train import ParallelTrainer, TrainPlan
+from repro.train.parallel import _default_workers
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+VIEW_DIMS = (4, 6, 3)
+HIDDEN = 16
+FUSION_UNITS = 8
+BATCH = 32
+SEQ_STEPS = 8
+TRAIN_STEPS = 20
+REPS = 3
+LR = 0.05
+
+_results = {}
+
+
+def _model():
+    return MultiViewGRUClassifier(VIEW_DIMS, hidden_size=HIDDEN,
+                                  fusion="mvm", fusion_units=FUSION_UNITS,
+                                  seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(1)
+    lengths = rng.integers(3, SEQ_STEPS + 1, size=BATCH)
+    mask = (np.arange(SEQ_STEPS)[None, :] < lengths[:, None]).astype(float)
+    views = [(rng.standard_normal((BATCH, SEQ_STEPS, dim)), mask)
+             for dim in VIEW_DIMS]
+    labels = rng.integers(0, 2, size=BATCH)
+    return views, labels
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if _results:
+        payload = {
+            "workload": {
+                "model": "MultiViewGRUClassifier(view_dims={}, hidden={}, "
+                         "fusion='mvm', fusion_units={})".format(
+                             VIEW_DIMS, HIDDEN, FUSION_UNITS),
+                "batch_size": BATCH,
+                "seq_steps": SEQ_STEPS,
+                "train_steps": TRAIN_STEPS,
+                "optimizer": "sgd(lr={})".format(LR),
+                "loss": "cross_entropy",
+                "cpu_count": os.cpu_count(),
+                "timing": "best of {} passes, seconds".format(REPS),
+            },
+            "strategies": _results,
+        }
+        if "eager" in _results and "plan" in _results:
+            payload["speedup_plan_vs_eager"] = round(
+                _results["eager"]["total_s"] / _results["plan"]["total_s"], 2)
+        if "eager" in _results and "plan_parallel" in _results:
+            payload["speedup_plan_parallel_vs_eager"] = round(
+                _results["eager"]["total_s"]
+                / _results["plan_parallel"]["total_s"], 2)
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _record(name, total, extra=None):
+    row = {
+        "total_s": round(float(total), 6),
+        "steps_per_s": round(TRAIN_STEPS / float(total), 2),
+        "ms_per_step": round(1000.0 * float(total) / TRAIN_STEPS, 3),
+    }
+    row.update(extra or {})
+    _results[name] = row
+
+
+def _best(run_pass):
+    best = float("inf")
+    for _ in range(REPS):
+        best = min(best, run_pass())
+    return best
+
+
+def test_training_strategies(workload):
+    views, labels = workload
+
+    # -- eager: engine forward+backward + eager SGD --------------------
+    eager_model = _model()
+    eager_model.train()
+    optimizer = SGD(eager_model.parameters(), lr=LR)
+
+    def eager_pass():
+        start = time.perf_counter()
+        for _ in range(TRAIN_STEPS):
+            optimizer.zero_grad()
+            loss = losses.cross_entropy(eager_model(views), labels)
+            loss.backward()
+            optimizer.step()
+        return time.perf_counter() - start
+
+    eager_total = _best(eager_pass)
+    _record("eager", eager_total)
+
+    # -- plan: compiled forward+backward+update ------------------------
+    plan_model = _model()
+    plan = TrainPlan(plan_model, loss="cross_entropy", optimizer="sgd",
+                     optimizer_args={"lr": LR})
+    plan.step(views, labels)  # compile + verify outside the timed region
+
+    def plan_pass():
+        start = time.perf_counter()
+        for _ in range(TRAIN_STEPS):
+            plan.step(views, labels)
+        return time.perf_counter() - start
+
+    plan_total = _best(plan_pass)
+    _record("plan", plan_total)
+
+    # -- plan + multi-process data parallelism -------------------------
+    workers = max(2, _default_workers())
+    parallel_model = _model()
+    with ParallelTrainer(parallel_model, views, labels, workers=workers,
+                         optimizer_args={"lr": LR}) as trainer:
+        trainer.step(views, labels)  # warm worker-side traces
+
+        def parallel_pass():
+            start = time.perf_counter()
+            for _ in range(TRAIN_STEPS):
+                trainer.step(views, labels)
+            return time.perf_counter() - start
+
+        parallel_total = _best(parallel_pass)
+        _record("plan_parallel", parallel_total,
+                {"workers": trainer.workers, "forked": trainer.parallel})
+
+    speedup = eager_total / plan_total
+    print("\ntraining: eager {:.1f} steps/s, plan {:.1f} steps/s ({:.1f}x), "
+          "plan+parallel[{}w] {:.1f} steps/s ({:.1f}x)".format(
+              TRAIN_STEPS / eager_total, TRAIN_STEPS / plan_total, speedup,
+              workers, TRAIN_STEPS / parallel_total,
+              eager_total / parallel_total))
+    assert speedup >= 2.0, (
+        "compiled training step must be >= 2x eager, got {:.2f}x".format(
+            speedup))
+
+
+def test_no_training_allocations_after_freeze(workload):
+    views, labels = workload
+    model = _model()
+    plan = TrainPlan(model, loss="cross_entropy", optimizer="sgd",
+                     optimizer_args={"lr": LR})
+    plan.step(views, labels)  # compile, verify, freeze
+    profiler.reset()
+    with profiler.profile():
+        for _ in range(5):
+            plan.step(views, labels)
+    stats = profiler.get_stats()
+    profiler.reset()
+    assert stats["extra_bytes"].get("train.arena", 0) == 0, \
+        "training step allocated arena buffers after freeze"
+    assert not stats["ops"], \
+        "training step routed work through the autodiff engine"

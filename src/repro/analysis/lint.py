@@ -73,9 +73,10 @@ NP_ALLOCATORS = {
     "column_stack", "pad", "tile", "repeat",
 }
 
-# The alloc-in-loop rule is scoped to the serving runtime (posix
-# substring match): that is where the zero-alloc replay contract lives.
-_ALLOC_SCOPE = ("repro/serve/",)
+# The alloc-in-loop rule is scoped to the serving and compiled-training
+# runtimes (posix substring match): those are where the zero-alloc
+# replay contract lives.
+_ALLOC_SCOPE = ("repro/serve/", "repro/train/")
 
 # The marker must sit in a comment line; string literals mentioning it
 # (like the ones in this file) do not tag a file as hot.

@@ -120,6 +120,15 @@ class sanitize:
                 "op '{}' produced a non-finite value (NaN/Inf) in an output "
                 "of shape {}".format(_op_name(backward), data.shape)
             )
+        if module_mod._plan_compile_depth > 0:
+            # Training-plan compile (strict mode included): the trace is
+            # gradcheck-verified against this eager reference before the
+            # plan is ever replayed — a stronger check than freezing —
+            # and compiled updates later mutate the captured parameter
+            # views in place *by design*, so retaining checksums here
+            # can only produce false positives.  The NaN tripwire above
+            # already ran.
+            return
         if module_mod._inference_depth > 0 and not self.strict:
             # Eval-mode forward: no backward will run, so mutation
             # capture protects nothing — skip the checksum work.

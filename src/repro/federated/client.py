@@ -34,6 +34,35 @@ class FederatedClient:
         self.model_fn = model_fn
         self.loss_fn = loss_fn or losses.cross_entropy
         self.rng = np.random.default_rng((seed, client_id))
+        # Compiled local-epoch fast path (``local_train(use_plan=True)``):
+        # one model + TrainPlan pair per momentum value, reused across
+        # rounds so the trace survives between server rounds.
+        self._plans = {}
+
+    def _plan_loss_name(self):
+        if self.loss_fn is losses.cross_entropy:
+            return "cross_entropy"
+        if self.loss_fn is losses.mse_loss:
+            return "mse"
+        raise ValueError(
+            "use_plan supports losses.cross_entropy or losses.mse_loss; "
+            "got {!r}".format(self.loss_fn))
+
+    def _plan_trainer(self, lr, momentum):
+        from ..train import TrainPlan
+
+        key = float(momentum)
+        cached = self._plans.get(key)
+        if cached is None:
+            model = self.model_fn()
+            model.train()
+            plan = TrainPlan(model, loss=self._plan_loss_name(),
+                             optimizer="sgd",
+                             optimizer_args={"lr": lr, "momentum": momentum})
+            cached = self._plans[key] = (model, plan)
+        model, plan = cached
+        plan.set_lr(lr)
+        return model, plan
 
     @property
     def num_samples(self):
@@ -74,11 +103,28 @@ class FederatedClient:
         }
         return gradient, len(features)
 
-    def local_train(self, state, epochs=1, batch_size=32, lr=0.1, momentum=0.0):
+    def local_train(self, state, epochs=1, batch_size=32, lr=0.1, momentum=0.0,
+                    use_plan=False):
         """Run ``epochs`` of local SGD from ``state`` (the FedAvg client step).
 
-        Returns (new local state, num_samples).
+        Returns (new local state, num_samples).  ``use_plan=True`` routes
+        the epochs through a compiled :class:`repro.train.TrainPlan`
+        (cached across rounds): same batch order, same update math, with
+        momentum state reset each round exactly like the fresh eager
+        optimizer.
         """
+        if use_plan:
+            model, plan = self._plan_trainer(lr, momentum)
+            plan.load_state(state)
+            plan.reset_optimizer_state()
+            loader = DataLoader(self.dataset, batch_size=batch_size,
+                                shuffle=True, rng=self.rng)
+            for _ in range(epochs):
+                for features, labels in loader:
+                    plan.step(features, labels)
+            return ({name: value.copy()
+                     for name, value in model.state_dict().items()},
+                    self.num_samples)
         model = self.model_fn()
         model.load_state_dict(state)
         model.train()

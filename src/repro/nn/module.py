@@ -23,6 +23,15 @@ _forward_hook = None
 # forward-to-backward window for an in-place mutation to corrupt.
 _inference_depth = 0
 
+# Depth of compiled-plan trace frames (repro.train plan compilation).
+# The compile-time eager reference runs forward+backward immediately and
+# the plan verifies its gradients against it before anything escapes, so
+# there is no unguarded forward-to-backward window.  The sanitizer skips
+# checksum capture inside it in BOTH modes: strict capture would pin
+# weight views that the compiled in-place updates later mutate by
+# design, which can only produce false positives.
+_plan_compile_depth = 0
+
 
 class Parameter(Tensor):
     """A :class:`Tensor` that is registered as a trainable model weight.

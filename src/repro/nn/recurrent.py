@@ -17,8 +17,14 @@ Performance: the input-side gate projections ``W x_k`` do not depend on
 the recurrence, so the sequence layers hoist them out of the timestep
 loop — one ``(batch*time, input) @ W`` matmul up front instead of ``time``
 small matmuls — and only the hidden-side ``U h_{k-1}`` products remain
-sequential.  The original per-step path is kept as ``forward_stepwise``
-for the equivalence tests.
+sequential.  On top of the hoist, the whole recurrence (hidden-side
+matmuls, gate nonlinearities, and the mask blend) runs as a *single*
+fused autograd node (:func:`_gru_sequence` / :func:`_lstm_sequence`)
+with a hand-derived backward: one graph node per sequence instead of
+roughly ten per timestep, which removes the per-step closure, parent
+tuple, and temporary-tensor traffic that dominated the gate math.  The
+original per-step path is kept as ``forward_stepwise`` for the
+equivalence tests.
 """
 
 from __future__ import annotations
@@ -39,6 +45,186 @@ def _mask_step(h_new, h_prev, mask_t):
         return h_new
     m = Tensor(mask_t[:, None], dtype=h_new.dtype)
     return h_new * m + h_prev * (1.0 - m)
+
+
+def _sigmoid(x):
+    """Stable sigmoid on ndarrays; numerics match :func:`repro.tensor.sigmoid`."""
+    clipped = np.clip(x, -500.0, 500.0)
+    positive = 1.0 / (1.0 + np.exp(-np.abs(clipped)))
+    return np.where(clipped >= 0, positive, 1.0 - positive)
+
+
+def _gru_sequence(projected, h0, u_r, u_z, u_h, mask, return_sequence):
+    """Fused GRU recurrence over a whole (batch, time, 3H) projection.
+
+    One autograd node runs every timestep's gate math (Eq. 1) in plain
+    numpy, saving the per-step gate activations; the backward closure
+    replays the recurrence in reverse with the analytic gradients.  The
+    output is the (batch, time, hidden) state sequence when
+    ``return_sequence`` else the final (batch, hidden) state.
+    """
+    p = projected.data
+    batch, steps, three_h = p.shape
+    hidden = three_h // 3
+    ur, uz, uh = u_r.data, u_z.data, u_h.data
+    dtype = np.result_type(p.dtype, h0.data.dtype, ur.dtype)
+    mcols = None if mask is None else mask.astype(dtype)
+    hs = np.empty((steps + 1, batch, hidden), dtype=dtype)
+    hs[0] = h0.data
+    rs = np.empty((steps, batch, hidden), dtype=dtype)
+    zs = np.empty_like(rs)
+    cs = np.empty_like(rs)
+    for t in range(steps):  # repro-lint: allow[hot-loop] sequential recurrence
+        h_prev = hs[t]
+        p_t = p[:, t, :]
+        r = _sigmoid(p_t[:, :hidden] + h_prev @ ur.T)
+        z = _sigmoid(p_t[:, hidden:2 * hidden] + h_prev @ uz.T)
+        cand = np.tanh(p_t[:, 2 * hidden:] + (r * h_prev) @ uh.T)
+        rs[t], zs[t], cs[t] = r, z, cand
+        h_new = z * h_prev + (1.0 - z) * cand
+        if mcols is None:
+            hs[t + 1] = h_new
+        else:
+            m = mcols[:, t:t + 1]
+            hs[t + 1] = h_new * m + h_prev * (1.0 - m)
+    if return_sequence:
+        out_data = np.ascontiguousarray(hs[1:].transpose(1, 0, 2))
+    else:
+        out_data = hs[steps]
+
+    def backward(grad, grads):
+        gh = np.zeros((batch, hidden), dtype=dtype)
+        if return_sequence:
+            gseq = grad.transpose(1, 0, 2)
+        else:
+            gh += grad
+        g_p = np.empty_like(p)
+        gu_r = np.zeros_like(ur)
+        gu_z = np.zeros_like(uz)
+        gu_h = np.zeros_like(uh)
+        for t in reversed(range(steps)):  # repro-lint: allow[hot-loop] sequential recurrence
+            if return_sequence:
+                gh = gh + gseq[t]
+            h_prev, r, z, cand = hs[t], rs[t], zs[t], cs[t]
+            if mcols is None:
+                g_new = gh
+                carry = None
+            else:
+                m = mcols[:, t:t + 1]
+                g_new = gh * m
+                carry = gh * (1.0 - m)
+            d_pre_z = g_new * (h_prev - cand) * z * (1.0 - z)
+            d_pre_c = g_new * (1.0 - z) * (1.0 - cand * cand)
+            d_rh = d_pre_c @ uh
+            d_pre_r = d_rh * h_prev * r * (1.0 - r)
+            g_p[:, t, :hidden] = d_pre_r
+            g_p[:, t, hidden:2 * hidden] = d_pre_z
+            g_p[:, t, 2 * hidden:] = d_pre_c
+            gu_r += d_pre_r.T @ h_prev
+            gu_z += d_pre_z.T @ h_prev
+            gu_h += d_pre_c.T @ (r * h_prev)
+            gh = g_new * z + d_rh * r + d_pre_r @ ur + d_pre_z @ uz
+            if carry is not None:
+                gh += carry
+        Tensor._send(grads, projected, g_p)
+        Tensor._send(grads, u_r, gu_r)
+        Tensor._send(grads, u_z, gu_z)
+        Tensor._send(grads, u_h, gu_h)
+        Tensor._send(grads, h0, gh)
+
+    return Tensor._make(out_data, (projected, u_r, u_z, u_h, h0), backward)
+
+
+def _lstm_sequence(projected, h0, c0, u, mask, return_sequence):
+    """Fused LSTM recurrence over a whole (batch, time, 4H) projection.
+
+    Mirrors :func:`_gru_sequence` for the LSTM cell: gate order [i; f; g; o]
+    as in :meth:`LSTMCell.step`, with the mask blending both h and c.
+    """
+    p = projected.data
+    batch, steps, four_h = p.shape
+    hidden = four_h // 4
+    ud = u.data
+    dtype = np.result_type(p.dtype, h0.data.dtype, ud.dtype)
+    mcols = None if mask is None else mask.astype(dtype)
+    hs = np.empty((steps + 1, batch, hidden), dtype=dtype)
+    cs = np.empty_like(hs)
+    hs[0] = h0.data
+    cs[0] = c0.data
+    gates_saved = np.empty((steps, batch, 4 * hidden), dtype=dtype)
+    tcs = np.empty((steps, batch, hidden), dtype=dtype)
+    for t in range(steps):  # repro-lint: allow[hot-loop] sequential recurrence
+        h_prev, c_prev = hs[t], cs[t]
+        gates = p[:, t, :] + h_prev @ ud.T
+        i = _sigmoid(gates[:, :hidden])
+        f = _sigmoid(gates[:, hidden:2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden:])
+        saved = gates_saved[t]
+        saved[:, :hidden] = i
+        saved[:, hidden:2 * hidden] = f
+        saved[:, 2 * hidden:3 * hidden] = g
+        saved[:, 3 * hidden:] = o
+        c_new = f * c_prev + i * g
+        tc = np.tanh(c_new)
+        tcs[t] = tc
+        h_new = o * tc
+        if mcols is None:
+            hs[t + 1] = h_new
+            cs[t + 1] = c_new
+        else:
+            m = mcols[:, t:t + 1]
+            hs[t + 1] = h_new * m + h_prev * (1.0 - m)
+            cs[t + 1] = c_new * m + c_prev * (1.0 - m)
+    if return_sequence:
+        out_data = np.ascontiguousarray(hs[1:].transpose(1, 0, 2))
+    else:
+        out_data = hs[steps]
+
+    def backward(grad, grads):
+        gh = np.zeros((batch, hidden), dtype=dtype)
+        gc = np.zeros((batch, hidden), dtype=dtype)
+        if return_sequence:
+            gseq = grad.transpose(1, 0, 2)
+        else:
+            gh += grad
+        g_p = np.empty_like(p)
+        gu = np.zeros_like(ud)
+        for t in reversed(range(steps)):  # repro-lint: allow[hot-loop] sequential recurrence
+            if return_sequence:
+                gh = gh + gseq[t]
+            h_prev, c_prev, tc = hs[t], cs[t], tcs[t]
+            saved = gates_saved[t]
+            i = saved[:, :hidden]
+            f = saved[:, hidden:2 * hidden]
+            g = saved[:, 2 * hidden:3 * hidden]
+            o = saved[:, 3 * hidden:]
+            if mcols is None:
+                g_h, g_c = gh, gc
+                carry_h = carry_c = None
+            else:
+                m = mcols[:, t:t + 1]
+                g_h, g_c = gh * m, gc * m
+                inv = 1.0 - m
+                carry_h, carry_c = gh * inv, gc * inv
+            gc_inner = g_c + g_h * o * (1.0 - tc * tc)
+            dp = g_p[:, t, :]
+            dp[:, :hidden] = gc_inner * g * i * (1.0 - i)
+            dp[:, hidden:2 * hidden] = gc_inner * c_prev * f * (1.0 - f)
+            dp[:, 2 * hidden:3 * hidden] = gc_inner * i * (1.0 - g * g)
+            dp[:, 3 * hidden:] = g_h * tc * o * (1.0 - o)
+            gu += dp.T @ h_prev
+            gh = dp @ ud
+            gc = gc_inner * f
+            if carry_h is not None:
+                gh += carry_h
+                gc += carry_c
+        Tensor._send(grads, projected, g_p)
+        Tensor._send(grads, u, gu)
+        Tensor._send(grads, h0, gh)
+        Tensor._send(grads, c0, gc)
+
+    return Tensor._make(out_data, (projected, u, h0, c0), backward)
 
 
 class GRUCell(Module):
@@ -121,7 +307,8 @@ class GRU(Module):
             (batch, time, hidden); otherwise return only the last state.
 
         The input-side projections for every timestep are computed in one
-        batched matmul before the loop (see the module docstring).
+        batched matmul before the loop, and the recurrence itself runs as
+        a single fused autograd node (see the module docstring).
         """
         x = T.as_tensor(x)
         batch, steps, features = x.shape
@@ -134,16 +321,17 @@ class GRU(Module):
             x.reshape(batch * steps, features)
         ).reshape(batch, steps, 3 * self.hidden_size)
         mask = None if mask is None else np.asarray(mask)
-        outputs = []
-        for t in range(steps):
-            h_new = self.cell.step(projected[:, t, :], h)
-            mask_t = None if mask is None else mask[:, t]
-            h = _mask_step(h_new, h, mask_t)
-            if return_sequence:
-                outputs.append(h)
+        cell = self.cell
         if return_sequence:
-            return T.stack(outputs, axis=1), h
-        return h
+            outputs = _gru_sequence(
+                projected, h, cell.u_r, cell.u_z, cell.u_h, mask, True
+            )
+            # Masked steps carry the previous state forward, so the final
+            # state is always the last entry of the sequence.
+            return outputs, outputs[:, steps - 1, :]
+        return _gru_sequence(
+            projected, h, cell.u_r, cell.u_z, cell.u_h, mask, False
+        )
 
     def forward_stepwise(self, x, mask=None, initial_state=None,
                          return_sequence=False):
@@ -223,17 +411,10 @@ class LSTM(Module):
             x.reshape(batch * steps, features)
         ).reshape(batch, steps, 4 * self.hidden_size)
         mask = None if mask is None else np.asarray(mask)
-        outputs = []
-        for t in range(steps):
-            h_new, c_new = self.cell.step(projected[:, t, :], (h, c))
-            mask_t = None if mask is None else mask[:, t]
-            h = _mask_step(h_new, h, mask_t)
-            c = _mask_step(c_new, c, mask_t)
-            if return_sequence:
-                outputs.append(h)
         if return_sequence:
-            return T.stack(outputs, axis=1), h
-        return h
+            outputs = _lstm_sequence(projected, h, c, self.cell.u, mask, True)
+            return outputs, outputs[:, steps - 1, :]
+        return _lstm_sequence(projected, h, c, self.cell.u, mask, False)
 
     def forward_stepwise(self, x, mask=None, return_sequence=False):
         """Seed implementation kept for equivalence tests and benchmarks."""

@@ -5,8 +5,9 @@ Buffers are allocated exactly once, at compile (trace) time; after the
 arena is frozen, any attempt to allocate from a replay step raises
 immediately instead of silently growing memory per request.  The arena
 reports every allocation to :func:`repro.profiler.record_bytes` under
-the ``serve.arena`` label, which is what the serving benchmark's
-zero-allocation-after-warm-up assertion reads.
+its byte-accounting ``label`` (``serve.arena`` by default; the training
+compiler uses ``train.arena``), which is what the benchmarks'
+zero-allocation-after-warm-up assertions read.
 """
 
 from __future__ import annotations
@@ -25,8 +26,9 @@ class ArenaFrozenError(RuntimeError):
 class BufferArena:
     """Owns the preallocated numpy buffers of one compiled trace."""
 
-    def __init__(self):
+    def __init__(self, label="serve.arena"):
         self._buffers = []
+        self.label = label
         self.nbytes = 0
         self.frozen = False
 
@@ -40,7 +42,7 @@ class BufferArena:
         buffer = np.zeros(shape, dtype=dtype)
         self._buffers.append(buffer)
         self.nbytes += buffer.nbytes
-        profiler.record_bytes("serve.arena", buffer.nbytes)
+        profiler.record_bytes(self.label, buffer.nbytes)
         return buffer
 
     def alloc_like(self, array):

@@ -291,26 +291,60 @@ def conv2d(x, weight, bias=None, stride=1, padding=0, groups=1):
     parents = [x, weight]
     if bias is not None:
         bias = as_tensor(bias)
-        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+        column = bias.data.reshape(1, f, 1, 1)
+        if np.result_type(out_data, column) == out_data.dtype:
+            out_data += column
+        else:
+            out_data = out_data + column
         parents.append(bias)
 
+    def _needs_grad(tensor):
+        return tensor.requires_grad or tensor._backward is not None
+
     def backward(grad, grads):
-        grad_x = np.zeros_like(x.data)
-        grad_w = np.zeros_like(weight.data)
+        x_needs = _needs_grad(x)
+        w_needs = _needs_grad(weight)
+        grad_x = np.empty_like(x.data) if x_needs else None
+        grad_w = np.empty_like(weight.data) if w_needs else None
+        hp, wp = h + 2 * padding, w + 2 * padding
         for g in range(groups):  # repro-lint: allow[hot-loop] loop over groups, not pixels
-            wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
             gg = grad[:, g * f_per_group:(g + 1) * f_per_group]
-            gg_cols = gg.transpose(0, 2, 3, 1).reshape(-1, f_per_group)
-            grad_w[g * f_per_group:(g + 1) * f_per_group] = (
-                (gg_cols.T @ saved_cols[g]).reshape(f_per_group, c_per_group, kh, kw)
+            # One (Fg, N*OH*OW) feature-map copy shared by both gradients.
+            gg_fm = np.ascontiguousarray(gg.transpose(1, 0, 2, 3)).reshape(
+                f_per_group, -1
             )
-            grad_cols = gg_cols @ wg.reshape(f_per_group, -1)
-            grad_x[:, g * c_per_group:(g + 1) * c_per_group] = col2im(
-                grad_cols, (n, c_per_group, h, w), kh, kw, stride, padding
-            )
-        Tensor._send(grads, x, grad_x)
-        Tensor._send(grads, weight, grad_w)
-        if bias is not None:
+            if w_needs:
+                # saved_cols[g] is the F-ordered transpose of the forward's
+                # contiguous column buffer: the weight gradient reuses the
+                # im2col lowering already paid for instead of re-unfolding.
+                grad_w[g * f_per_group:(g + 1) * f_per_group] = (
+                    (gg_fm @ saved_cols[g]).reshape(
+                        f_per_group, c_per_group, kh, kw
+                    )
+                )
+            if x_needs:
+                wg = weight.data[g * f_per_group:(g + 1) * f_per_group]
+                grad_cols_t = wg.reshape(f_per_group, -1).T @ gg_fm
+                index = _gather_index(
+                    n, c_per_group, h, w, kh, kw, stride, padding, oh, ow
+                )
+                # The forward unfold's cached gather index doubles as the
+                # scatter target: grad_cols_t has the same transposed
+                # layout, so the whole fold is one bincount over it.
+                flat = np.bincount(
+                    index.reshape(-1),
+                    weights=grad_cols_t.reshape(-1),
+                    minlength=n * c_per_group * hp * wp,
+                )
+                padded_g = flat.reshape(n, c_per_group, hp, wp)
+                if padding:
+                    padded_g = padded_g[:, :, padding:-padding, padding:-padding]
+                grad_x[:, g * c_per_group:(g + 1) * c_per_group] = padded_g
+        if x_needs:
+            Tensor._send(grads, x, grad_x)
+        if w_needs:
+            Tensor._send(grads, weight, grad_w)
+        if bias is not None and _needs_grad(bias):
             Tensor._send(grads, bias, grad.sum(axis=(0, 2, 3)))
 
     return Tensor._make(out_data, tuple(parents), backward)

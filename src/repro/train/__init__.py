@@ -1,0 +1,29 @@
+"""Compiled training path: forward+backward plans and data-parallel steps.
+
+``compile_train_plan`` extends :mod:`repro.serve`'s graph capture from
+inference to training: one traced forward+backward+update becomes a list
+of zero-arg step closures over a :class:`TrainingArena` of preallocated
+activation, gradient, and optimizer-state buffers.  On top of the
+single-process plan, :class:`ParallelTrainer` shards a batch across
+forked workers over shared-memory gradient slabs with a deterministic
+reduction order.
+"""
+
+from .plan import (
+    TrainPlan,
+    TrainingArena,
+    TrainVerificationError,
+    compile_train_plan,
+    register_train_rule,
+)
+from .parallel import ParallelTrainer, PerExampleGradientPool
+
+__all__ = [
+    "TrainPlan",
+    "TrainingArena",
+    "TrainVerificationError",
+    "compile_train_plan",
+    "register_train_rule",
+    "ParallelTrainer",
+    "PerExampleGradientPool",
+]

@@ -1,0 +1,257 @@
+"""Data-parallel training: determinism, equivalence, and integrations.
+
+The multi-process trainer must be bit-identical across runs with the
+same seed, match the single-process compiled plan within float
+tolerance, and degrade to the serial plan when only one worker is
+available.  The per-example gradient pool behind DP-SGD's fast path must
+reproduce the eager clipped-gradient sum, and the DP-SGD / FedAvg
+``use_plan`` integrations must track their eager counterparts exactly.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.federated.client import FederatedClient
+from repro.nn import losses
+from repro.privacy.dpsgd import DPSGDTrainer
+from repro.privacy.mechanisms import clip_by_l2
+from repro.tensor import Tensor
+from repro.train import ParallelTrainer, PerExampleGradientPool, TrainPlan
+from repro.train.parallel import _batch_size, _split_batch
+
+
+def _fork_ok():
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+fork_required = pytest.mark.skipif(not _fork_ok(),
+                                   reason="fork start method unavailable")
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _make_model(seed=3):
+    rng = _rng(seed)
+    return nn.Sequential(nn.Linear(12, 16, rng=rng), nn.ReLU(),
+                         nn.Linear(16, 4, rng=rng))
+
+
+def _make_dropout_model(seed=5):
+    rng = _rng(seed)
+    return nn.Sequential(nn.Linear(12, 16, rng=rng), nn.Tanh(),
+                         nn.Dropout(0.25, rng=_rng(seed + 1)),
+                         nn.Linear(16, 4, rng=rng))
+
+
+def _data(n=32, seed=0):
+    rng = _rng(seed)
+    return (rng.normal(size=(n, 12)), rng.integers(0, 4, size=n))
+
+
+# ----------------------------------------------------------------------
+# Batch splitting
+# ----------------------------------------------------------------------
+def test_split_batch_handles_nested_structures():
+    x = np.arange(20).reshape(10, 2)
+    mask = np.arange(10)
+    parts = _split_batch((x, mask), 3)
+    assert len(parts) == 3
+    rebuilt_x = np.concatenate([p[0] for p in parts])
+    rebuilt_m = np.concatenate([p[1] for p in parts])
+    np.testing.assert_array_equal(rebuilt_x, x)
+    np.testing.assert_array_equal(rebuilt_m, mask)
+
+    nested = [(x, None), (x * 2, mask)]
+    parts = _split_batch(nested, 2)
+    assert len(parts) == 2 and parts[0][0][1] is None
+    np.testing.assert_array_equal(
+        np.concatenate([p[1][0] for p in parts]), x * 2)
+    assert _batch_size(nested) == 10
+
+
+# ----------------------------------------------------------------------
+# ParallelTrainer
+# ----------------------------------------------------------------------
+def test_serial_fallback_equals_plan():
+    X, y = _data()
+    model = _make_model()
+    trainer = ParallelTrainer(model, X, y, workers=1,
+                              optimizer_args={"lr": 0.1})
+    assert not trainer.parallel
+
+    reference_model = _make_model()
+    plan = TrainPlan(reference_model, optimizer="sgd",
+                     optimizer_args={"lr": 0.1})
+    for _ in range(3):
+        loss_a = trainer.step(X, y)
+        loss_b = plan.step(X, y)
+        assert loss_a == loss_b
+    for (k, a), (_, b) in zip(model.state_dict().items(),
+                              reference_model.state_dict().items()):
+        np.testing.assert_array_equal(a, b, err_msg=k)
+    trainer.close()
+
+
+@fork_required
+def test_parallel_bit_identical_across_runs():
+    X, y = _data()
+
+    def run():
+        model = _make_dropout_model()
+        with ParallelTrainer(model, X, y, workers=3, seed=11,
+                             optimizer_args={"lr": 0.1}) as trainer:
+            assert trainer.parallel
+            history = [trainer.step(X, y) for _ in range(4)]
+        return history, model.state_dict()
+
+    first_losses, first_state = run()
+    second_losses, second_state = run()
+    assert first_losses == second_losses
+    for key in first_state:
+        np.testing.assert_array_equal(first_state[key], second_state[key],
+                                      err_msg=key)
+
+
+@fork_required
+def test_parallel_matches_single_process():
+    X, y = _data()
+    single_model = _make_model()
+    single = TrainPlan(single_model, optimizer="sgd",
+                       optimizer_args={"lr": 0.1})
+    parallel_model = _make_model()
+    with ParallelTrainer(parallel_model, X, y, workers=3,
+                         optimizer_args={"lr": 0.1}) as trainer:
+        for _ in range(4):
+            loss_single = single.step(X, y)
+            loss_parallel = trainer.step(X, y)
+            # Shard losses/gradients are reduced in a different summation
+            # order than the full batch: tolerance, not bit-equality.
+            assert abs(loss_single - loss_parallel) < 1e-9
+    for (k, a), (_, b) in zip(single_model.state_dict().items(),
+                              parallel_model.state_dict().items()):
+        np.testing.assert_allclose(b, a, rtol=1e-9, atol=1e-12, err_msg=k)
+
+
+# ----------------------------------------------------------------------
+# PerExampleGradientPool
+# ----------------------------------------------------------------------
+def _eager_clipped_sum(model, X, y, clip):
+    total = None
+    for i in range(len(X)):
+        model.zero_grad()
+        losses.cross_entropy(model(Tensor(X[i:i + 1])), y[i:i + 1]).backward()
+        flat = np.concatenate([
+            p.grad.reshape(-1) for _, p in model.named_parameters()])
+        clipped = clip_by_l2(flat, clip)
+        total = clipped.copy() if total is None else total + clipped
+    return total
+
+
+def test_pool_serial_matches_eager_clipped_sum():
+    X, y = _data(13, seed=2)
+    model = _make_model()
+    pool = PerExampleGradientPool(model, X, y,
+                                  transform=lambda g: clip_by_l2(g, 1.0),
+                                  workers=1)
+    produced = pool.grad_sum(X, y)
+    reference = _eager_clipped_sum(_make_model(), X, y, 1.0)
+    np.testing.assert_allclose(produced, reference, rtol=1e-9)
+    pool.close()
+
+
+@fork_required
+def test_pool_parallel_matches_serial():
+    X, y = _data(13, seed=2)
+    serial = PerExampleGradientPool(_make_model(), X, y, workers=1,
+                                    transform=lambda g: clip_by_l2(g, 1.0))
+    parallel = PerExampleGradientPool(_make_model(), X, y, workers=3,
+                                      transform=lambda g: clip_by_l2(g, 1.0))
+    assert parallel.parallel
+    np.testing.assert_allclose(parallel.grad_sum(X, y),
+                               serial.grad_sum(X, y), rtol=1e-12)
+    serial.close()
+    parallel.close()
+
+
+# ----------------------------------------------------------------------
+# DP-SGD fast path
+# ----------------------------------------------------------------------
+def _dpsgd(use_plan, workers=None):
+    return DPSGDTrainer(_make_model(), lr=0.1, clip_norm=1.0,
+                        noise_multiplier=1.0, lot_size=16, seed=7,
+                        use_plan=use_plan, workers=workers)
+
+
+@pytest.mark.parametrize("workers", [None, pytest.param(3,
+                                                        marks=fork_required)])
+def test_dpsgd_use_plan_matches_eager(workers):
+    X, y = _data(64, seed=0)
+    eager = _dpsgd(use_plan=False)
+    plan = _dpsgd(use_plan=True, workers=workers)
+    for _ in range(4):
+        eager.step(X, y)
+        plan.step(X, y)
+    # Same sampling and noise streams; same ledger; same trajectory.
+    assert len(plan.accountant.ledger) == len(eager.accountant.ledger)
+    assert plan.accountant.spent(1e-5) == eager.accountant.spent(1e-5)
+    for (k, a), (_, b) in zip(eager.model.state_dict().items(),
+                              plan.model.state_dict().items()):
+        np.testing.assert_allclose(b, a, rtol=1e-7, atol=1e-10, err_msg=k)
+    plan.close()
+
+
+def test_dpsgd_use_plan_rejects_custom_loss():
+    with pytest.raises(ValueError):
+        DPSGDTrainer(_make_model(), loss_fn=losses.mse_loss, use_plan=True)
+
+
+# ----------------------------------------------------------------------
+# FedAvg local epochs
+# ----------------------------------------------------------------------
+def _client(seed=4):
+    X, y = _data(50, seed=1)
+    dataset = ArrayDataset(X, y)
+
+    def model_fn():
+        rng = _rng(5)
+        return nn.Sequential(nn.Linear(12, 10, rng=rng), nn.Tanh(),
+                             nn.Linear(10, 4, rng=rng))
+
+    return FederatedClient(0, dataset, model_fn, seed=seed), model_fn
+
+
+@pytest.mark.parametrize("momentum", [0.0, 0.9])
+def test_fedavg_local_train_use_plan_matches_eager(momentum):
+    eager_client, model_fn = _client()
+    plan_client, _ = _client()
+    eager_state = model_fn().state_dict()
+    plan_state = {k: v.copy() for k, v in eager_state.items()}
+    for _ in range(3):
+        eager_state, eager_n = eager_client.local_train(
+            eager_state, epochs=2, batch_size=16, lr=0.05, momentum=momentum)
+        plan_state, plan_n = plan_client.local_train(
+            plan_state, epochs=2, batch_size=16, lr=0.05, momentum=momentum,
+            use_plan=True)
+        assert eager_n == plan_n
+    for key in eager_state:
+        np.testing.assert_allclose(plan_state[key], eager_state[key],
+                                   rtol=1e-9, atol=1e-12, err_msg=key)
+
+
+def test_fedavg_use_plan_rejects_custom_loss():
+    X, y = _data(10, seed=1)
+    client = FederatedClient(
+        0, ArrayDataset(X, y), _make_model,
+        loss_fn=losses.binary_cross_entropy)
+    with pytest.raises(ValueError):
+        client.local_train(_make_model().state_dict(), use_plan=True)

@@ -1,0 +1,416 @@
+"""Compiled-training equivalence: plan steps match eager everywhere.
+
+The acceptance bar for the training compiler: for **every** module class
+in the shape-interpreter registry (fusion heads and the full
+:class:`MultiViewGRUClassifier` included) a compiled
+:class:`repro.train.TrainPlan` reproduces multi-step eager training —
+losses, gradients, parameter trajectories, and (for BatchNorm) running
+statistics — at both float32 and float64, and replays with zero new
+arena allocations after the compile-time freeze.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, profiler
+from repro.analysis import shapes
+from repro.core.model import MultiViewGRUClassifier
+from repro.nn import losses
+from repro.optim import SGD, Adam
+from repro.serve import ArenaFrozenError
+from repro.tensor import Tensor
+from repro.train import TrainPlan, TrainVerificationError, compile_train_plan
+from repro.train import plan as train_plan_mod
+
+# ----------------------------------------------------------------------
+# Case registry: name -> (module factory, example-input factory)
+#
+# Input conventions mirror the serve-plan suite: a bare ndarray feeds
+# ``module(Tensor(x))``; ``(x, mask)`` a sequence layer; ``(x, h)`` a
+# GRUCell; ``(x, (h, c))`` an LSTMCell; a list a fusion head or the
+# multi-view classifier.  Factories are seeded so calling one twice
+# yields identical parameters and dropout streams — the basis for the
+# eager-vs-plan trajectory comparison.
+# ----------------------------------------------------------------------
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _arr(shape, dtype, seed=0):
+    return _rng(seed).standard_normal(shape).astype(dtype)
+
+
+def _mask(batch, steps, dtype, seed=1):
+    lengths = _rng(seed).integers(1, steps + 1, size=batch)
+    return (np.arange(steps)[None, :] < lengths[:, None]).astype(dtype)
+
+
+def _seq_input(features, dtype, masked, seed=0):
+    x = _arr((4, 6, features), dtype, seed)
+    return (x, _mask(4, 6, dtype) if masked else None)
+
+
+def _mlp():
+    rng = _rng(3)
+    return nn.Sequential(
+        nn.Linear(10, 16, rng=rng), nn.ReLU(),
+        nn.LayerNorm(16), nn.Dropout(0.5, rng=_rng(4)),
+        nn.Linear(16, 8, rng=rng), nn.Softmax(),
+    )
+
+
+def _batchnorm_net():
+    rng = _rng(5)
+    return nn.Sequential(nn.Linear(10, 10, rng=rng), nn.BatchNorm1d(10),
+                         nn.Sigmoid(), nn.Linear(10, 4, rng=rng))
+
+
+def _convnet():
+    rng = _rng(7)
+    return nn.Sequential(
+        nn.Conv2d(3, 6, 3, stride=1, padding=1, rng=rng),
+        nn.LeakyReLU(0.1),
+        nn.MaxPool2d(2),
+        nn.Conv2d(6, 8, 3, stride=2, rng=rng),
+        nn.Tanh(),
+        nn.AvgPool2d(2),
+        nn.Flatten(),
+        nn.Linear(8, 5, rng=rng),
+    )
+
+
+def _depthwise():
+    rng = _rng(8)
+    return nn.Sequential(
+        nn.DepthwiseSeparableConv2d(4, 8, 3, stride=1, padding=1, rng=rng),
+        nn.GlobalAvgPool2d(),
+        nn.Sigmoid(),
+    )
+
+
+CASES = {
+    "mlp": (_mlp, lambda dt: _arr((5, 10), dt)),
+    "identity": (lambda: nn.Sequential(nn.Identity(), nn.Linear(6, 4, rng=_rng(9))),
+                 lambda dt: _arr((3, 6), dt)),
+    "batchnorm": (_batchnorm_net, lambda dt: _arr((6, 10), dt, 10)),
+    "convnet": (_convnet, lambda dt: _arr((2, 3, 14, 14), dt, 11)),
+    "grouped_conv": (lambda: nn.Conv2d(4, 8, 3, padding=1, groups=2, rng=_rng(12)),
+                     lambda dt: _arr((2, 4, 8, 8), dt, 13)),
+    "depthwise": (_depthwise, lambda dt: _arr((2, 4, 9, 9), dt, 14)),
+    "gru": (lambda: nn.GRU(5, 7, rng=_rng(15)),
+            lambda dt: _seq_input(5, dt, masked=False)),
+    "gru_masked": (lambda: nn.GRU(5, 7, rng=_rng(15)),
+                   lambda dt: _seq_input(5, dt, masked=True)),
+    "lstm_masked": (lambda: nn.LSTM(5, 7, rng=_rng(16)),
+                    lambda dt: _seq_input(5, dt, masked=True)),
+    "gru_cell": (lambda: nn.GRUCell(5, 7, rng=_rng(17)),
+                 lambda dt: (_arr((4, 5), dt), _arr((4, 7), dt, 18))),
+    "lstm_cell": (lambda: nn.LSTMCell(5, 7, rng=_rng(19)),
+                  lambda dt: (_arr((4, 5), dt),
+                              (_arr((4, 7), dt, 20), _arr((4, 7), dt, 21)))),
+    "bidirectional_masked": (
+        lambda: nn.Bidirectional(nn.GRU(5, 6, rng=_rng(22)),
+                                 nn.GRU(5, 6, rng=_rng(22))),
+        lambda dt: _seq_input(5, dt, masked=True)),
+    "fusion_fc": (lambda: nn.FullyConnectedFusion([6, 4], 8, 3, rng=_rng(23)),
+                  lambda dt: [_arr((4, 6), dt, 24), _arr((4, 4), dt, 25)]),
+    "fusion_fm": (lambda: nn.FactorizationMachineFusion([6, 4], 5, 3, rng=_rng(26)),
+                  lambda dt: [_arr((4, 6), dt, 24), _arr((4, 4), dt, 25)]),
+    "fusion_mvm": (lambda: nn.MultiViewMachineFusion([6, 4, 3], 5, 2, rng=_rng(27)),
+                   lambda dt: [_arr((4, 6), dt, 24), _arr((4, 4), dt, 25),
+                               _arr((4, 3), dt, 28)]),
+    "deepmood_mvm": (
+        lambda: MultiViewGRUClassifier((4, 6, 3), hidden_size=16,
+                                       fusion="mvm", fusion_units=8, seed=29),
+        lambda dt: [(_arr((3, 5, d), dt, 30 + i), _mask(3, 5, dt, 40 + i))
+                    for i, d in enumerate((4, 6, 3))]),
+    "deepmood_bidir_fc": (
+        lambda: MultiViewGRUClassifier((4, 3), hidden_size=8, fusion="fc",
+                                       fusion_units=6, bidirectional=True,
+                                       seed=31),
+        lambda dt: [(_arr((3, 5, d), dt, 50 + i), _mask(3, 5, dt, 60 + i))
+                    for i, d in enumerate((4, 3))]),
+}
+
+
+def _cast(inputs, dtype):
+    if isinstance(inputs, np.ndarray):
+        return inputs.astype(dtype)
+    if isinstance(inputs, tuple):
+        return tuple(None if part is None else _cast(part, dtype)
+                     for part in inputs)
+    if isinstance(inputs, list):
+        return [_cast(part, dtype) for part in inputs]
+    return inputs
+
+
+def _tolerance(dtype):
+    if np.dtype(dtype).itemsize >= 8:
+        return dict(rtol=1e-7, atol=1e-9)
+    return dict(rtol=2e-3, atol=1e-4)
+
+
+def _mse_target(factory, inputs, dtype):
+    """A float target shaped like the module's primary output."""
+    probe = factory()
+    probe.train()
+    out = train_plan_mod._call_eager(probe, train_plan_mod._to_arrays(inputs))
+    pred = train_plan_mod._primary(out)
+    return _arr(pred.data.shape, dtype, 99)
+
+
+def _eager_train(factory, inputs, target, loss_kind, optimizer_fn, steps):
+    """Reference eager loop using the plan's own input conventions."""
+    module = factory()
+    module.train()
+    optimizer = optimizer_fn(module.parameters())
+    history = []
+    for _ in range(steps):
+        optimizer.zero_grad()
+        out = train_plan_mod._call_eager(
+            module, train_plan_mod._to_arrays(inputs))
+        pred = train_plan_mod._primary(out)
+        if loss_kind == "cross_entropy":
+            loss = losses.cross_entropy(pred, target)
+        else:
+            loss = losses.mse_loss(pred, Tensor(target))
+        loss.backward()
+        optimizer.step()
+        history.append(float(loss.data))
+    return module, history
+
+
+def _assert_state_matches(eager_module, plan_module, dtype):
+    eager_state = eager_module.state_dict()
+    plan_state = plan_module.state_dict()
+    assert eager_state.keys() == plan_state.keys()
+    for key in eager_state:
+        np.testing.assert_allclose(plan_state[key], eager_state[key],
+                                   err_msg=key, **_tolerance(dtype))
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64],
+                         ids=["float32", "float64"])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_plan_training_matches_eager(name, dtype):
+    """Three compiled SGD steps == three eager SGD steps, end to end."""
+    factory, build = CASES[name]
+    inputs = _cast(build(np.float64), dtype)
+    target = _mse_target(factory, inputs, dtype)
+    eager_module, eager_losses = _eager_train(
+        factory, inputs, target, "mse",
+        lambda params: SGD(params, lr=0.05), steps=3)
+
+    module = factory()
+    plan = TrainPlan(module, loss="mse", optimizer="sgd",
+                     optimizer_args={"lr": 0.05})
+    plan_losses = [plan.step(inputs, target) for _ in range(3)]
+
+    np.testing.assert_allclose(plan_losses, eager_losses, **_tolerance(dtype))
+    _assert_state_matches(eager_module, module, dtype)
+
+
+def test_case_registry_covers_every_shapes_registry_module():
+    """Every class with a shape rule is exercised by some training case."""
+    exercised = set()
+    for factory, _ in CASES.values():
+        module = factory()
+        for _, child in module.named_modules():
+            exercised.add(type(child))
+    missing = {cls.__name__ for cls in shapes.covered_layers()} - {
+        cls.__name__ for cls in exercised}
+    assert not missing, \
+        "shapes-registry modules without a train case: {}".format(
+            sorted(missing))
+
+
+def test_cross_entropy_training_matches_eager():
+    factory, build = CASES["deepmood_mvm"]
+    inputs = build(np.float64)
+    labels = _rng(70).integers(0, 2, size=3)
+    eager_module, eager_losses = _eager_train(
+        factory, inputs, labels, "cross_entropy",
+        lambda params: SGD(params, lr=0.1, momentum=0.9), steps=4)
+    module = factory()
+    plan = TrainPlan(module, loss="cross_entropy", optimizer="sgd",
+                     optimizer_args={"lr": 0.1, "momentum": 0.9})
+    plan_losses = [plan.step(inputs, labels) for _ in range(4)]
+    np.testing.assert_allclose(plan_losses, eager_losses, rtol=1e-7)
+    _assert_state_matches(eager_module, module, np.float64)
+
+
+def test_adam_training_matches_eager():
+    factory, build = CASES["mlp"]
+    inputs = build(np.float64)
+    labels = _rng(71).integers(0, 8, size=5)
+    eager_module, eager_losses = _eager_train(
+        factory, inputs, labels, "cross_entropy",
+        lambda params: Adam(params, lr=0.01), steps=4)
+    module = factory()
+    plan = TrainPlan(module, loss="cross_entropy", optimizer="adam",
+                     optimizer_args={"lr": 0.01})
+    plan_losses = [plan.step(inputs, labels) for _ in range(4)]
+    np.testing.assert_allclose(plan_losses, eager_losses, rtol=1e-7)
+    _assert_state_matches(eager_module, module, np.float64)
+
+
+def test_step_allocates_nothing_after_freeze():
+    """Replayed steps never touch the arena allocator or the engine."""
+    factory, build = CASES["deepmood_mvm"]
+    module, inputs = factory(), build(np.float64)
+    labels = _rng(72).integers(0, 2, size=3)
+    plan = compile_train_plan(module, inputs, labels, loss="cross_entropy",
+                              optimizer="sgd", optimizer_args={"lr": 0.05})
+    plan.step(inputs, labels)  # warm-up: trace exists, this is pure replay
+    profiler.reset()
+    with profiler.profile():
+        for _ in range(3):
+            plan.step(inputs, labels)
+    stats = profiler.get_stats()
+    profiler.reset()
+    assert stats["extra_bytes"].get("train.arena", 0) == 0, \
+        "replayed training step touched the arena allocator"
+    assert not stats["ops"], \
+        "replayed training step routed work through the autodiff engine"
+
+
+def test_frozen_arena_rejects_allocation():
+    module = nn.Linear(4, 3, rng=_rng(0))
+    x, y = _arr((2, 4), np.float64), _rng(1).integers(0, 3, size=2)
+    plan = compile_train_plan(module, x, y)
+    arena = plan._traces[next(iter(plan.signatures))].arena
+    with pytest.raises(ArenaFrozenError):
+        arena.alloc((1,), np.dtype(float))
+
+
+def test_retrace_on_new_signature():
+    module = nn.Linear(6, 4, rng=_rng(0))
+    plan = TrainPlan(module, optimizer="sgd", optimizer_args={"lr": 0.1})
+    plan.step(_arr((3, 6), np.float64), _rng(1).integers(0, 4, size=3))
+    assert plan.compile_count == 1
+    plan.step(_arr((5, 6), np.float64, 1), _rng(2).integers(0, 4, size=5))
+    assert plan.compile_count == 2
+    plan.step(_arr((3, 6), np.float64), _rng(1).integers(0, 4, size=3))
+    assert plan.compile_count == 2
+    assert len(plan.signatures) == 2
+
+
+def test_verification_catches_divergence(monkeypatch):
+    """A train rule replaying wrong math must fail compile-time verify."""
+    original = train_plan_mod._TRAIN_RULES[nn.Linear]
+
+    def broken_rule(module, inputs, ctx, activation=None):
+        out = original(module, inputs, ctx, activation=activation)
+
+        def corrupt():
+            # multiplicative: a uniform additive shift would be invisible
+            # to softmax cross-entropy
+            out[...] *= 1.5
+        ctx.fwd(corrupt)
+        return out
+
+    monkeypatch.setitem(train_plan_mod._TRAIN_RULES, nn.Linear, broken_rule)
+    module = nn.Sequential(nn.Linear(4, 3, rng=_rng(0)))
+    with pytest.raises(TrainVerificationError):
+        compile_train_plan(module, _arr((2, 4), np.float64),
+                           _rng(1).integers(0, 3, size=2))
+
+
+def test_grad_only_plan_and_flat_grad_match_eager():
+    """optimizer=None: grad_step leaves params untouched, flat_grad is
+    the concatenated eager gradient in named_parameters order."""
+    x, y = _arr((4, 6), np.float64), _rng(1).integers(0, 3, size=4)
+
+    module = nn.Sequential(nn.Linear(6, 5, rng=_rng(2)), nn.Tanh(),
+                           nn.Linear(5, 3, rng=_rng(3)))
+    before = {k: v.copy() for k, v in module.state_dict().items()}
+    plan = TrainPlan(module, loss="cross_entropy", optimizer=None)
+    plan.grad_step(x, y)
+    flat = plan.flat_grad()
+    for key, value in module.state_dict().items():
+        np.testing.assert_array_equal(value, before[key], err_msg=key)
+
+    eager = nn.Sequential(nn.Linear(6, 5, rng=_rng(2)), nn.Tanh(),
+                          nn.Linear(5, 3, rng=_rng(3)))
+    eager.zero_grad()
+    losses.cross_entropy(eager(Tensor(x)), y).backward()
+    reference = np.concatenate(
+        [p.grad.reshape(-1) for _, p in eager.named_parameters()])
+    np.testing.assert_allclose(flat, reference, rtol=1e-9)
+
+
+def test_apply_flat_grad_equals_step():
+    """grad_step + apply_flat_grad(flat_grad()) == step."""
+    x, y = _arr((4, 6), np.float64), _rng(1).integers(0, 3, size=4)
+
+    def make():
+        return nn.Sequential(nn.Linear(6, 5, rng=_rng(2)), nn.ReLU(),
+                             nn.Linear(5, 3, rng=_rng(3)))
+
+    direct_module = make()
+    direct = TrainPlan(direct_module, optimizer="sgd",
+                       optimizer_args={"lr": 0.1, "momentum": 0.9})
+    split_module = make()
+    split = TrainPlan(split_module, optimizer="sgd",
+                      optimizer_args={"lr": 0.1, "momentum": 0.9})
+    for _ in range(3):
+        direct.step(x, y)
+        split.grad_step(x, y)
+        split.apply_flat_grad(split.flat_grad())
+    for (k, a), (_, b) in zip(direct_module.state_dict().items(),
+                              split_module.state_dict().items()):
+        np.testing.assert_array_equal(a, b, err_msg=k)
+
+
+def test_load_state_and_reset_optimizer_state():
+    """load_state + reset == fresh eager model + fresh optimizer."""
+    x, y = _arr((4, 6), np.float64), _rng(1).integers(0, 3, size=4)
+    start = nn.Sequential(nn.Linear(6, 3, rng=_rng(4))).state_dict()
+
+    module = nn.Sequential(nn.Linear(6, 3, rng=_rng(5)))
+    plan = TrainPlan(module, optimizer="sgd",
+                     optimizer_args={"lr": 0.1, "momentum": 0.9})
+    plan.step(x, y)  # pollute params and momentum state
+    plan.load_state(start)
+    plan.reset_optimizer_state()
+    plan_losses = [plan.step(x, y) for _ in range(3)]
+
+    eager = nn.Sequential(nn.Linear(6, 3, rng=_rng(6)))
+    eager.load_state_dict(start)
+    optimizer = SGD(eager.parameters(), lr=0.1, momentum=0.9)
+    eager_losses = []
+    for _ in range(3):
+        optimizer.zero_grad()
+        loss = losses.cross_entropy(eager(Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+        eager_losses.append(float(loss.data))
+    np.testing.assert_allclose(plan_losses, eager_losses, rtol=1e-9)
+    for (k, a), (_, b) in zip(eager.state_dict().items(),
+                              module.state_dict().items()):
+        np.testing.assert_allclose(a, b, rtol=1e-9, err_msg=k)
+
+
+def test_dropout_streams_match_eager_across_steps():
+    """Active dropout draws the same masks as eager, step for step."""
+    x, y = _arr((6, 10), np.float64), _rng(1).integers(0, 8, size=6)
+    eager_module, eager_losses = _eager_train(
+        _mlp, x, y, "cross_entropy",
+        lambda params: SGD(params, lr=0.05), steps=5)
+    module = _mlp()
+    plan = TrainPlan(module, optimizer="sgd", optimizer_args={"lr": 0.05})
+    plan_losses = [plan.step(x, y) for _ in range(5)]
+    # Dropout masks differ per step; matching all five losses means the
+    # compiled path consumed the generator in exactly the eager order.
+    np.testing.assert_allclose(plan_losses, eager_losses, rtol=1e-9)
+    _assert_state_matches(eager_module, module, np.float64)
+
+
+def test_invalid_loss_and_optimizer_raise():
+    module = nn.Linear(4, 3, rng=_rng(0))
+    with pytest.raises(ValueError):
+        TrainPlan(module, loss="hinge")
+    with pytest.raises(ValueError):
+        TrainPlan(module, optimizer="rmsprop")
