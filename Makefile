@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check train-check bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check train-check plan-audit bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit serve-check train-check bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check train-check plan-audit bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -55,6 +55,15 @@ serve-check:
 train-check:
 	python -m pytest tests/test_train_plan.py tests/test_train_parallel.py -q
 	python -m pytest benchmarks/test_training_bench.py -q
+
+# Plan IR audit: extract the buffer IR from every registry case's
+# compiled serve and train plans (both float dtypes), prove the
+# write-before-read / no-aliasing / no-dead-buffer contracts, race-check
+# the ParallelTrainer protocol, verify batching-server ticket isolation,
+# cross-check the plan-rule registries against the shapes registry, and
+# apply verified arena slot coloring.  Exits non-zero on any violation.
+plan-audit:
+	python -m repro.analysis.plans audit --dtype float32 --dtype float64
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

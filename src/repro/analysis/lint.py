@@ -31,6 +31,22 @@ born from a bug class the hand-written-numpy stack cannot afford:
   pinning, per-view buffer setup) and request-collation loops carry
   inline waivers.
 
+Three concurrency rules run only under ``repro/train/`` and
+``repro/serve/`` (the subsystems that spawn workers and share memory):
+
+* ``shm-write-protocol`` — no write (``x[...] = ...``, ``out=x``,
+  ``np.copyto(x, ...)``) into an ndarray backed by
+  ``multiprocessing.shared_memory`` outside the reduction protocol.
+  Every shared-slab write must be one of the protocol's ordered steps
+  (publish params / worker grad row / fixed-order reduce) and carries
+  an inline waiver saying which step it is.
+* ``fork-after-thread`` — no ``get_context("fork")`` in a module that
+  also uses ``threading``: forking after threads exist can deadlock the
+  child on locks held by threads that do not survive the fork.
+* ``unjoined-worker`` — a module that ``.start()``s a ``Process`` or
+  ``Thread`` must also ``.join()`` it somewhere; daemonic fire-and-
+  forget workers leak shared-memory slabs on interpreter teardown.
+
 Files tagged with a ``repro-lint: privacy-critical`` marker additionally
 run the five differential-privacy rules from
 :mod:`repro.analysis.privacy.rules` (``dp-fixed-seed``,
@@ -54,6 +70,7 @@ __all__ = ["Violation", "lint_file", "lint_paths", "main", "RULES"]
 
 RULES = ("np-random", "dtype-literal", "param-data", "hot-loop",
          "alloc-in-loop",
+         "shm-write-protocol", "fork-after-thread", "unjoined-worker",
          "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
          "dp-unaccounted-release", "dp-epsilon-no-delta")
 
@@ -77,6 +94,10 @@ NP_ALLOCATORS = {
 # runtimes (posix substring match): those are where the zero-alloc
 # replay contract lives.
 _ALLOC_SCOPE = ("repro/serve/", "repro/train/")
+
+# The concurrency rules are scoped to the same two subsystems — the
+# only places that spawn workers and share process memory.
+_CONCURRENCY_SCOPE = ("repro/serve/", "repro/train/")
 
 # The marker must sit in a comment line; string literals mentioning it
 # (like the ones in this file) do not tag a file as hot.
@@ -274,6 +295,136 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# ----------------------------------------------------------------------
+# Concurrency rules (scoped to repro/serve/ and repro/train/)
+# ----------------------------------------------------------------------
+def _shm_view_names(tree):
+    """Names (attr or local) bound to ``np.ndarray(..., buffer=...)``."""
+    names = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)):
+            continue
+        chain = _attribute_chain(node.value.func)
+        if not (chain and chain[-1] == "ndarray"):
+            continue
+        if not any(kw.arg == "buffer" for kw in node.value.keywords):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _base_name(node):
+    """The attr/name a (possibly subscripted) expression writes through."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ConcurrencyVisitor(ast.NodeVisitor):
+    """shm-write-protocol, fork-after-thread, unjoined-worker."""
+
+    def __init__(self, path, tree, np_aliases):
+        self.path = path
+        self.np_aliases = np_aliases
+        self.shm_names = _shm_view_names(tree)
+        self.violations = []
+        self.uses_threading = False
+        self.spawns_worker = False
+        self.joins_worker = False
+        self.starts = []  # (node, name) of .start() calls
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                if any(item.name == "threading" for item in node.names):
+                    self.uses_threading = True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "threading":
+                    self.uses_threading = True
+
+    def _report(self, node, rule, message):
+        self.violations.append(
+            Violation(self.path, node.lineno, rule, message))
+
+    def _check_shm_write(self, node, target):
+        name = _base_name(target)
+        # Bare rebinding (``self._params = None``) releases the view;
+        # only subscripted stores write through the shared mapping.
+        if name in self.shm_names and isinstance(target, ast.Subscript):
+            self._report(
+                node, "shm-write-protocol",
+                "write into shared-memory view {!r} outside the reduction "
+                "protocol; make it a protocol step and waive it by "
+                "name".format(name),
+            )
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._check_shm_write(node, target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._check_shm_write(node, node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        chain = _attribute_chain(node.func)
+        # out=<shm view> hands a shared slab to an arbitrary kernel.
+        for kw in node.keywords:
+            if kw.arg == "out" and _base_name(kw.value) in self.shm_names:
+                self._report(
+                    node, "shm-write-protocol",
+                    "kernel writes into shared-memory view {!r}; only the "
+                    "protocol's ordered steps may write the slab — waive "
+                    "with the step name".format(_base_name(kw.value)),
+                )
+        if (chain and chain[0] in self.np_aliases and len(chain) == 2
+                and chain[1] == "copyto" and node.args
+                and _base_name(node.args[0]) in self.shm_names):
+            self._report(
+                node, "shm-write-protocol",
+                "np.copyto into shared-memory view {!r} outside the "
+                "reduction protocol".format(_base_name(node.args[0])),
+            )
+        if chain and chain[-1] == "get_context" and node.args:
+            first = node.args[0]
+            if (isinstance(first, ast.Constant) and first.value == "fork"
+                    and self.uses_threading):
+                self._report(
+                    node, "fork-after-thread",
+                    "get_context(\"fork\") in a module that uses "
+                    "threading: a child forked after threads exist can "
+                    "deadlock on locks the fork froze",
+                )
+        if chain and chain[-1] in ("Process", "Thread"):
+            self.spawns_worker = True
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "start" and not node.args:
+                self.starts.append(node)
+            elif node.func.attr == "join" \
+                    and not isinstance(node.func.value, ast.Constant):
+                self.joins_worker = True
+        self.generic_visit(node)
+
+    def finish(self):
+        if self.spawns_worker and not self.joins_worker:
+            for node in self.starts:
+                self._report(
+                    node, "unjoined-worker",
+                    "worker started here but this module never joins any "
+                    "worker; join (or document teardown with a waiver) so "
+                    "shared resources are released deterministically",
+                )
+        return self.violations
+
+
 def _path_allowed(rule, posix_path):
     return any(part in posix_path for part in PATH_ALLOW.get(rule, ()))
 
@@ -297,6 +448,11 @@ def lint_file(path, text=None):
                                         for part in _ALLOC_SCOPE))
     visitor.visit(tree)
     found = list(visitor.violations)
+    if any(part in posix for part in _CONCURRENCY_SCOPE):
+        concurrency = _ConcurrencyVisitor(str(path), tree,
+                                          visitor.np_aliases)
+        concurrency.visit(tree)
+        found.extend(concurrency.finish())
     if _PRIVACY_MARKER_RE.search(text):
         # Imported lazily: the DP rules live in the analysis.privacy
         # package, which the base linter must not pay for on every file.

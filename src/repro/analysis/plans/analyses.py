@@ -1,0 +1,173 @@
+"""Dataflow passes over the plan IR.
+
+All passes are linear scans over the straight-line step list:
+
+* :func:`liveness` — first/last referencing step per buffer;
+* :func:`find_dead_buffers` — allocated but referenced by no step;
+* :func:`check_defined_before_read` — static write-before-read proof
+  (precise IRs only; extracted IRs prove this dynamically instead);
+* :func:`find_dead_stores` — a write whose value is never read
+  (precise IRs only: conservative read sets would mask real ones);
+* :func:`check_aliasing` — physically overlapping buffers (or buffers
+  sharing a reuse slot) whose live ranges intersect, i.e. a write to
+  one can clobber the other while its value is still needed.
+"""
+
+from __future__ import annotations
+
+from .ir import Violation
+
+__all__ = [
+    "liveness",
+    "find_dead_buffers",
+    "check_defined_before_read",
+    "find_dead_stores",
+    "check_aliasing",
+]
+
+
+def liveness(ir):
+    """Live interval per buffer index: ``{index: (first_step, last_step)}``.
+
+    The interval spans every step referencing the buffer (synthetic
+    input/output endpoint steps included), so two buffers may share
+    storage iff their intervals are disjoint.
+    """
+    intervals = {}
+    for step in ir.steps:
+        for index in step.refs:
+            first, _ = intervals.get(index, (step.index, step.index))
+            intervals[index] = (first, step.index)
+    return intervals
+
+
+def find_dead_buffers(ir):
+    """Buffers no step ever touches: allocated memory that pure waste."""
+    intervals = liveness(ir)
+    violations = []
+    for buf in ir.buffers:
+        if buf.index in intervals:
+            continue
+        if buf.persistent or buf.is_input or buf.is_output:
+            continue
+        violations.append(Violation(
+            "dead-buffer",
+            "buffer {!r} ({} bytes) is allocated but referenced by no "
+            "step".format(buf.name, buf.nbytes),
+            case=ir.label,
+        ))
+    return violations
+
+
+def check_defined_before_read(ir):
+    """Prove every read sees a prior write (static; precise IRs only).
+
+    Inputs and persistent buffers are defined at entry.  A step that
+    both reads and writes a buffer is treated as reading first (the
+    accumulation pattern), so an un-initialised accumulator is flagged.
+    """
+    if not ir.precise:
+        raise ValueError(
+            "static definedness needs precise read/write sets; extracted "
+            "IRs prove definedness dynamically (see extract.poison_check)")
+    defined = {b.index for b in ir.buffers
+               if b.is_input or b.persistent}
+    violations = []
+    for step in ir.steps:
+        for index in sorted(step.reads):
+            if index not in defined:
+                violations.append(Violation(
+                    "read-before-write",
+                    "step {} ({!r}) reads buffer {!r} before any step "
+                    "writes it".format(step.index, step.label,
+                                       ir.buffers[index].name),
+                    case=ir.label,
+                ))
+        defined |= step.writes
+    return violations
+
+
+def find_dead_stores(ir):
+    """Writes whose value is overwritten or dropped before any read."""
+    if not ir.precise:
+        raise ValueError(
+            "dead-store detection needs precise read/write sets")
+    violations = []
+    for step in ir.steps:
+        for index in sorted(step.writes):
+            buf = ir.buffers[index]
+            if buf.is_output or buf.persistent:
+                continue
+            for later in ir.steps[step.index + 1:]:
+                if index in later.reads:
+                    break  # the value is consumed
+                if index in later.writes:
+                    violations.append(Violation(
+                        "dead-store",
+                        "step {} ({!r}) writes buffer {!r} but step {} "
+                        "({!r}) overwrites it before any read".format(
+                            step.index, step.label, buf.name,
+                            later.index, later.label),
+                        case=ir.label,
+                    ))
+                    break
+            else:
+                violations.append(Violation(
+                    "dead-store",
+                    "step {} ({!r}) writes buffer {!r} but no later step "
+                    "reads it".format(step.index, step.label, buf.name),
+                    case=ir.label,
+                ))
+    return violations
+
+
+def _interval_overlap(a, b):
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def check_aliasing(ir, slot_assignments=None):
+    """Flag overlapping buffers whose live ranges intersect.
+
+    Overlap is physical (byte spans) or logical (two buffers mapped to
+    the same reuse slot by ``slot_assignments``, an ``{index: slot}``
+    mapping).  Any write into shared storage during the other buffer's
+    live range is a potential read-after-write hazard, so the pair is
+    flagged whenever either buffer is written at all — which every
+    arena buffer is; read-only overlap (reshape views of one buffer
+    handed out by a rule) maps to a single allocation and never
+    reaches this check.
+    """
+    intervals = liveness(ir)
+    slot_assignments = slot_assignments or {}
+    written = set()
+    for step in ir.steps:
+        written |= step.writes
+    violations = []
+    for a in ir.buffers:
+        for b in ir.buffers[a.index + 1:]:
+            same_slot = (
+                a.index in slot_assignments
+                and slot_assignments.get(a.index) == slot_assignments.get(b.index)
+            )
+            if not same_slot and not a.overlaps(b):
+                continue
+            iv_a = intervals.get(a.index)
+            iv_b = intervals.get(b.index)
+            if iv_a is None or iv_b is None:
+                continue
+            if not _interval_overlap(iv_a, iv_b):
+                continue
+            if a.index not in written and b.index not in written:
+                continue
+            how = "share reuse slot {}".format(
+                slot_assignments.get(a.index)) if same_slot else \
+                "overlap at bytes [{}, {})".format(
+                    max(a.lo, b.lo), min(a.hi, b.hi))
+            violations.append(Violation(
+                "aliased-write",
+                "buffers {!r} and {!r} {} while both live (steps "
+                "{}..{} vs {}..{})".format(
+                    a.name, b.name, how, iv_a[0], iv_a[1], iv_b[0], iv_b[1]),
+                case=ir.label,
+            ))
+    return violations

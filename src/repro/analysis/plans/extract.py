@@ -1,0 +1,444 @@
+"""Recover a plan IR from captured step closures, and prove definedness.
+
+Plans store no explicit dataflow — each replay step is an opaque
+zero-arg closure.  Two mechanisms recover the IR:
+
+**Reference extraction.**  Every ndarray a step can touch is reachable
+from its closure (cells, defaults, bound objects, containers); walking
+that object graph and mapping each array onto the arena's buffer byte
+spans (views included — a view's bounds lie inside its base buffer)
+yields the step's conservative reference set.
+
+**Two-fill poison analysis.**  Declared read/write sets would have to
+be hand-annotated per rule; instead, definedness is proven dynamically.
+The steps are executed twice from two *differently randomised* arena
+states (persistent buffers and real inputs are kept identical), with
+per-step checksums over each step's referenced buffers.  IEEE float
+ops are bit-deterministic, so a step whose output differs between the
+two runs consumed data that depended on the arena's initial contents —
+either a genuine read-before-write or a compile-time-initialised
+buffer missing ``persistent=True`` (a stale capture).  Every output
+buffer must end bit-equal across runs.  Integer buffers are filled
+with zeros in both runs (random indices could fault in ``np.take``),
+so definedness for pure index buffers is not probed — they are tiny
+and always written in-step before use.
+
+All external state the steps mutate (parameters, BatchNorm statistics,
+dropout generator states, optimizer scratch) is snapshotted before and
+restored after the analysis, so auditing a live plan is side-effect
+free.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import zlib
+
+import numpy as np
+
+try:  # numpy >= 2.0
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - numpy 1.x fallback
+    byte_bounds = np.byte_bounds
+
+from .ir import PlanIR, Violation
+
+__all__ = ["extract_plan_ir", "extract_train_ir", "collect_arrays"]
+
+_ATOMIC = (str, bytes, bytearray, int, float, complex, bool, type(None),
+           np.dtype, np.generic, type)
+_MAX_DEPTH = 16
+
+
+def _walk(obj, seen, arrays, rngs, depth=0):
+    if depth > _MAX_DEPTH or id(obj) in seen:
+        return
+    seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        arrays.append(obj)
+        return
+    if isinstance(obj, np.random.Generator):
+        rngs.append(obj)
+        return
+    if isinstance(obj, _ATOMIC):
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            _walk(item, seen, arrays, rngs, depth + 1)
+        return
+    if isinstance(obj, dict):
+        for value in obj.values():
+            _walk(value, seen, arrays, rngs, depth + 1)
+        return
+    closure = getattr(obj, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                contents = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+            _walk(contents, seen, arrays, rngs, depth + 1)
+    defaults = getattr(obj, "__defaults__", None)
+    if defaults:
+        for item in defaults:
+            _walk(item, seen, arrays, rngs, depth + 1)
+    func = getattr(obj, "__func__", None)
+    if func is not None:  # bound method: walk the function and its object
+        _walk(func, seen, arrays, rngs, depth + 1)
+        _walk(getattr(obj, "__self__", None), seen, arrays, rngs, depth + 1)
+    attrs = getattr(obj, "__dict__", None)
+    if isinstance(attrs, dict):
+        for value in attrs.values():
+            _walk(value, seen, arrays, rngs, depth + 1)
+    for cls in type(obj).__mro__:
+        for slot in getattr(cls, "__slots__", ()):
+            try:
+                _walk(getattr(obj, slot), seen, arrays, rngs, depth + 1)
+            except AttributeError:
+                pass
+
+
+def collect_arrays(fn):
+    """All ndarrays and Generators reachable from a step closure."""
+    arrays, rngs = [], []
+    _walk(fn, set(), arrays, rngs)
+    return arrays, rngs
+
+
+class _ArenaIndex:
+    """Maps any ndarray (views included) onto its arena buffer index."""
+
+    def __init__(self, arena):
+        self.arena = arena
+        spans = []
+        for index, buf in enumerate(arena.buffers):
+            lo, hi = byte_bounds(buf)
+            spans.append((lo, hi, index))
+        spans.sort()
+        self._spans = spans
+        self._los = [s[0] for s in spans]
+
+    def find(self, array):
+        if array.size == 0:
+            return None
+        lo, hi = byte_bounds(array)
+        pos = bisect.bisect_right(self._los, lo) - 1
+        if pos >= 0:
+            span_lo, span_hi, index = self._spans[pos]
+            if lo >= span_lo and hi <= span_hi:
+                return index
+        return None
+
+
+def _checksum(array):
+    return zlib.crc32(array.tobytes())
+
+
+def _poison(buffer, rng):
+    kind = buffer.dtype.kind
+    if kind == "f":
+        buffer[...] = rng.standard_normal(buffer.shape).astype(buffer.dtype)
+    elif kind == "c":
+        real = rng.standard_normal(buffer.shape)
+        buffer[...] = (real + 1j * rng.standard_normal(buffer.shape)) \
+            .astype(buffer.dtype)
+    elif kind == "b":
+        buffer[...] = rng.integers(0, 2, size=buffer.shape,
+                                   dtype=np.uint8).astype(bool)
+    else:
+        # Integer buffers hold gather indices; random values could fault
+        # in np.take, so they are zeroed (identically in both runs).
+        buffer[...] = 0
+
+
+class _Record:
+    """One executable IR step: label, thunk, conservative reference set."""
+
+    __slots__ = ("label", "thunk", "refs", "declared_reads",
+                 "declared_writes")
+
+    def __init__(self, label, thunk, refs, declared_reads=None,
+                 declared_writes=None):
+        self.label = label
+        self.thunk = thunk
+        self.refs = frozenset(refs)
+        self.declared_reads = declared_reads
+        self.declared_writes = declared_writes
+
+
+class _Pristine:
+    """Snapshot/restore of everything the analysis runs may mutate."""
+
+    def __init__(self, arena, externals, rngs):
+        self.arena = arena
+        self.buffers = [np.array(buf, copy=True) for buf in arena.buffers]
+        self.externals = [
+            (arr, np.array(arr, copy=True))
+            for arr in externals if arr.flags.writeable
+        ]
+        self.rngs = [(rng, rng.bit_generator.state) for rng in rngs]
+
+    def restore(self):
+        for buf, copy in zip(self.arena.buffers, self.buffers):
+            np.copyto(buf, copy)
+        for arr, copy in self.externals:
+            np.copyto(arr, copy)
+        for rng, state in self.rngs:
+            rng.bit_generator.state = state
+
+
+def _dedup_arrays(arrays):
+    seen = set()
+    out = []
+    for arr in arrays:
+        if id(arr) not in seen:
+            seen.add(id(arr))
+            out.append(arr)
+    return out
+
+
+def _flatten_arrays(value):
+    if value is None:
+        return []
+    if isinstance(value, np.ndarray):
+        return [value]
+    out = []
+    for item in value:
+        out.extend(_flatten_arrays(item))
+    return out
+
+
+def _map_all(index, arrays, what):
+    indices = []
+    for arr in arrays:
+        found = index.find(arr)
+        if found is None:
+            raise RuntimeError(
+                "{} array (shape {}, dtype {}) does not map onto any "
+                "arena buffer".format(what, arr.shape, arr.dtype))
+        indices.append(found)
+    return indices
+
+
+def _run_poisoned(arena, records, pristine, seed, unlock):
+    """Execute all steps from a ``seed``-poisoned arena state.
+
+    Returns (initial, per_step, final): full-arena initial checksums,
+    per-step ``(post_checksums_of_refs, written_set)``, and the final
+    full-arena checksums.
+    """
+    pristine.restore()
+    rng = np.random.default_rng(seed)
+    for buf, persistent in zip(arena.buffers, arena.persistent_flags):
+        if not persistent:
+            _poison(buf, rng)
+    buffers = arena.buffers
+    current = {i: _checksum(buf) for i, buf in enumerate(buffers)}
+    initial = dict(current)
+    per_step = []
+    with unlock(), np.errstate(all="ignore"):
+        for record in records:
+            pre = {i: current[i] for i in record.refs}
+            record.thunk()
+            post = {i: _checksum(buffers[i]) for i in record.refs}
+            written = frozenset(i for i in record.refs if post[i] != pre[i])
+            current.update(post)
+            per_step.append((post, written))
+    return initial, per_step, dict(current)
+
+
+def _classify(ir, records, run_a, run_b, output_indices):
+    """Diff the two poison runs into definedness violations."""
+    initial_a, steps_a, final_a = run_a
+    initial_b, steps_b, final_b = run_b
+    equal = {i: initial_a[i] == initial_b[i] for i in initial_a}
+    ever_written = set()
+    contaminated_flagged = set()
+    violations = []
+    for k, record in enumerate(records):
+        undefined_refs = sorted(i for i in record.refs if not equal[i])
+        post_a, written_a = steps_a[k]
+        post_b, written_b = steps_b[k]
+        written = written_a | written_b
+        for i in written:
+            equal[i] = post_a[i] == post_b[i]
+        fresh_culprits = [i for i in undefined_refs if i not in ever_written]
+        for i in sorted(written):
+            if equal[i] or i in contaminated_flagged:
+                continue
+            contaminated_flagged.add(i)
+            if not fresh_culprits:
+                continue  # downstream of an already-reported contamination
+            violations.append(Violation(
+                "read-before-write",
+                "step {} ({}) wrote {!r} from undefined data; it can see "
+                "uninitialised buffer(s) {} — either a genuine "
+                "read-before-write or a compile-time-initialised buffer "
+                "missing persistent=True".format(
+                    k, record.label, ir.buffers[i].name,
+                    ", ".join(repr(ir.buffers[c].name)
+                              for c in fresh_culprits)),
+                case=ir.label,
+            ))
+        ever_written |= written
+    for i in sorted(output_indices):
+        if final_a[i] != final_b[i] and i not in contaminated_flagged:
+            violations.append(Violation(
+                "read-before-write",
+                "output buffer {!r} depends on uninitialised arena "
+                "contents".format(ir.buffers[i].name),
+                case=ir.label,
+            ))
+    return violations
+
+
+def _build_ir(label, arena, records, input_indices, output_indices,
+              written_union):
+    ir = PlanIR(label=label, precise=False)
+    inputs = set(input_indices)
+    outputs = set(output_indices)
+    for i, buf in enumerate(arena.buffers):
+        lo, hi = byte_bounds(buf)
+        ir.buffer(
+            "b{}[{}x{}]".format(i, "x".join(map(str, buf.shape)), buf.dtype),
+            shape=buf.shape, dtype=buf.dtype, nbytes=buf.nbytes, lo=lo,
+            persistent=arena.persistent_flags[i],
+            is_input=i in inputs, is_output=i in outputs,
+        )
+    for k, record in enumerate(records):
+        writes = record.declared_writes
+        if writes is None:
+            writes = written_union[k]
+        reads = record.declared_reads
+        if reads is None:
+            reads = record.refs
+        ir.step(record.label, reads=sorted(reads), writes=sorted(writes))
+    return ir
+
+
+def _analyze(label, arena, records, input_indices, output_indices,
+             externals, rngs, unlock=contextlib.nullcontext):
+    pristine = _Pristine(arena, externals, rngs)
+    try:
+        run_a = _run_poisoned(arena, records, pristine, 0xA5F00D, unlock)
+        run_b = _run_poisoned(arena, records, pristine, 0x5AFE42, unlock)
+    finally:
+        pristine.restore()
+    written_union = [
+        steps_a[1] | steps_b[1]
+        for steps_a, steps_b in zip(run_a[1], run_b[1])
+    ]
+    ir = _build_ir(label, arena, records, input_indices, output_indices,
+                   written_union)
+    violations = _classify(ir, records, run_a, run_b, output_indices)
+    return ir, violations
+
+
+def _closure_record(index, label, fn):
+    arrays, rngs = collect_arrays(fn)
+    refs = []
+    externals = []
+    for arr in arrays:
+        found = index.find(arr)
+        if found is None:
+            externals.append(arr)
+        else:
+            refs.append(found)
+    return _Record(label, fn, refs), externals, rngs
+
+
+def extract_plan_ir(plan, inputs, label=None):
+    """Audit one compiled serve trace; returns ``(PlanIR, violations)``.
+
+    Compiles the trace for ``inputs``' signature if needed, extracts the
+    conservative IR, and runs the two-fill definedness analysis.  The
+    plan is left exactly as found (arena contents restored).
+    """
+    from ...serve import plan as serve_plan
+
+    values = serve_plan._to_arrays(inputs)
+    trace = plan._trace_for(values)
+    arena = trace.arena
+    index = _ArenaIndex(arena)
+
+    input_arrays = _flatten_arrays(trace.inputs)
+    input_indices = _map_all(index, input_arrays, "plan input")
+    output_arrays = _flatten_arrays(trace.output)
+    output_indices = _map_all(index, output_arrays, "plan output")
+
+    records = [_Record(
+        "write-inputs",
+        lambda: serve_plan._write_inputs(trace.inputs, values),
+        input_indices, declared_reads=(), declared_writes=input_indices)]
+    externals, rngs = [], []
+    for k, fn in enumerate(trace.steps):
+        record, ext, rng = _closure_record(index, "step[{}]".format(k), fn)
+        records.append(record)
+        externals.extend(ext)
+        rngs.extend(rng)
+    records.append(_Record("read-output", lambda: None, output_indices,
+                           declared_reads=output_indices,
+                           declared_writes=()))
+
+    return _analyze(
+        label or "serve:{}".format(type(plan.module).__name__),
+        arena, records, input_indices, output_indices,
+        _dedup_arrays(externals), rngs)
+
+
+def extract_train_ir(plan, inputs, target, label=None):
+    """Audit one compiled train trace; returns ``(PlanIR, violations)``.
+
+    The executable step sequence mirrors ``TrainPlan._run``: write
+    inputs+target, forward, zero grads, backward (already reversed in
+    the trace), optimizer updates; the loss and every named parameter
+    gradient are the observable outputs.  Parameters, module buffers,
+    optimizer state, and dropout RNG streams are snapshotted and
+    restored, so the audit leaves training state untouched.
+    """
+    from ...train import plan as train_plan
+
+    values = train_plan._to_arrays(inputs)
+    coerced = plan._coerce_target(target)
+    trace = plan._trace_for(values, coerced)
+    arena = trace.arena
+    index = _ArenaIndex(arena)
+
+    input_arrays = _flatten_arrays(trace.inputs) + [trace.target]
+    input_indices = _map_all(index, input_arrays, "train input")
+    output_arrays = [trace.loss] + [g for _, _, g in trace.named_grads]
+    output_indices = _map_all(index, output_arrays, "train output")
+    grad_indices = _map_all(index, list(trace.grad_zero), "gradient")
+
+    def write_inputs():
+        train_plan._write_inputs(trace.inputs, values)
+        np.copyto(trace.target, coerced)
+
+    records = [_Record("write-inputs", write_inputs, input_indices,
+                       declared_reads=(), declared_writes=input_indices)]
+    externals, rngs = [], []
+    groups = (("fwd", trace.fwd_steps), ("zero", ()), ("bwd", trace.bwd_steps),
+              ("update", trace.updates))
+    for kind, steps in groups:
+        if kind == "zero":
+            records.append(_Record("zero-grads", trace.zero_grads,
+                                   grad_indices, declared_reads=(),
+                                   declared_writes=grad_indices))
+            continue
+        for k, fn in enumerate(steps):
+            record, ext, rng = _closure_record(
+                index, "{}[{}]".format(kind, k), fn)
+            records.append(record)
+            externals.extend(ext)
+            rngs.extend(rng)
+    records.append(_Record("read-outputs", lambda: None, output_indices,
+                           declared_reads=output_indices,
+                           declared_writes=()))
+
+    plan._rebind()
+    with plan._unlocked():
+        return _analyze(
+            label or "train:{}".format(type(plan.module).__name__),
+            arena, records, input_indices, output_indices,
+            _dedup_arrays(externals), rngs)

@@ -1,0 +1,157 @@
+"""The plan IR: buffers with byte spans, steps with read/write sets.
+
+A compiled plan is a straight-line program: an ordered list of step
+closures writing into arena buffers.  The IR mirrors exactly that — no
+control flow, one :class:`StepNode` per replay step (plus synthetic
+``input``/``output`` endpoints), each naming the buffers it reads and
+writes by allocation index.  Buffers carry their byte span inside the
+arena so the aliasing checker can reason about physical overlap, and a
+``persistent`` flag for compile-time-initialised or cross-replay state.
+
+Extracted IRs (:mod:`repro.analysis.plans.extract`) are *conservative*:
+a step's ``reads`` are everything its closure can touch (``precise`` is
+False), and definedness is proven dynamically instead.  Hand-built IRs
+— the negative tests, or any future rule-declared step sets — set
+``precise=True`` and get the full static treatment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Violation", "BufferNode", "StepNode", "PlanIR"]
+
+
+class Violation:
+    """One audit finding: a kind, a location, and a human message."""
+
+    __slots__ = ("kind", "message", "case")
+
+    def __init__(self, kind, message, case=None):
+        self.kind = kind
+        self.message = message
+        self.case = case
+
+    def __repr__(self):
+        prefix = "[{}] ".format(self.case) if self.case else ""
+        return "{}{}: {}".format(prefix, self.kind, self.message)
+
+
+class BufferNode:
+    """One arena allocation: identity, byte span, and role flags."""
+
+    __slots__ = ("index", "name", "shape", "dtype", "nbytes", "lo", "hi",
+                 "persistent", "is_input", "is_output")
+
+    def __init__(self, index, name, shape, dtype, lo, hi, persistent=False,
+                 is_input=False, is_output=False):
+        self.index = index
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.nbytes = hi - lo
+        self.lo = lo
+        self.hi = hi
+        self.persistent = persistent
+        self.is_input = is_input
+        self.is_output = is_output
+
+    def overlaps(self, other):
+        """Physical byte-span overlap with another buffer."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def __repr__(self):
+        return "BufferNode({}, {!r}, {}, {})".format(
+            self.index, self.name, self.shape, self.dtype)
+
+
+class StepNode:
+    """One replay step: read and write sets over buffer indices."""
+
+    __slots__ = ("index", "label", "reads", "writes")
+
+    def __init__(self, index, label, reads, writes):
+        self.index = index
+        self.label = label
+        self.reads = frozenset(reads)
+        self.writes = frozenset(writes)
+
+    @property
+    def refs(self):
+        return self.reads | self.writes
+
+    def __repr__(self):
+        return "StepNode({}, {!r})".format(self.index, self.label)
+
+
+class PlanIR:
+    """A straight-line buffer program; build with :meth:`buffer`/:meth:`step`.
+
+    ``precise=True`` declares the step read/write sets exact, enabling
+    the static definedness and dead-store passes; extracted IRs use
+    ``precise=False`` (conservative reads, dynamically-proven
+    definedness).
+    """
+
+    def __init__(self, label="plan", precise=True):
+        self.label = label
+        self.precise = precise
+        self.buffers = []
+        self.steps = []
+        self._by_name = {}
+        self._next_byte = 0
+
+    # -- construction ---------------------------------------------------
+    def buffer(self, name, shape=(1,), dtype=np.float64, nbytes=None,
+               lo=None, persistent=False, is_input=False, is_output=False):
+        """Add a buffer; auto-placed after the previous one unless ``lo``
+        is given (pass an explicit ``lo`` to build aliased layouts)."""
+        dtype = np.dtype(dtype)
+        if nbytes is None:
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if lo is None:
+            lo = self._next_byte
+        hi = lo + nbytes
+        self._next_byte = max(self._next_byte, hi)
+        node = BufferNode(len(self.buffers), name, shape, dtype, lo, hi,
+                          persistent=persistent, is_input=is_input,
+                          is_output=is_output)
+        self.buffers.append(node)
+        if name in self._by_name:
+            raise ValueError("duplicate buffer name {!r}".format(name))
+        self._by_name[name] = node
+        return node
+
+    def step(self, label, reads=(), writes=()):
+        """Append a step; ``reads``/``writes`` take nodes, names, or indices."""
+        node = StepNode(len(self.steps), label,
+                        [self._resolve(b) for b in reads],
+                        [self._resolve(b) for b in writes])
+        self.steps.append(node)
+        return node
+
+    def _resolve(self, ref):
+        if isinstance(ref, BufferNode):
+            return ref.index
+        if isinstance(ref, str):
+            return self._by_name[ref].index
+        return int(ref)
+
+    # -- lookup ---------------------------------------------------------
+    def __getitem__(self, name):
+        return self._by_name[name]
+
+    @property
+    def inputs(self):
+        return [b for b in self.buffers if b.is_input]
+
+    @property
+    def outputs(self):
+        return [b for b in self.buffers if b.is_output]
+
+    def total_bytes(self):
+        return sum(b.nbytes for b in self.buffers)
+
+    def __repr__(self):
+        return "PlanIR({!r}: {} buffers, {} steps)".format(
+            self.label, len(self.buffers), len(self.steps))

@@ -8,6 +8,21 @@ reports every allocation to :func:`repro.profiler.record_bytes` under
 its byte-accounting ``label`` (``serve.arena`` by default; the training
 compiler uses ``train.arena``), which is what the benchmarks'
 zero-allocation-after-warm-up assertions read.
+
+Two extensions support the plan auditor (:mod:`repro.analysis.plans`):
+
+* ``alloc(..., persistent=True)`` marks a buffer whose contents must
+  survive across replays — either compile-time-initialised constants
+  (the ones column of a fusion concat, a conv padding ring) or
+  cross-replay state (optimizer momentum).  The auditor's definedness
+  pass treats persistent buffers as defined at entry and refuses to
+  recycle their storage.
+* A :class:`SlotPlan` (produced by liveness-interval coloring) maps
+  allocation indices onto shared byte slots.  An arena built with a
+  slot plan hands out views into per-slot backings instead of fresh
+  arrays, so buffers whose live ranges never overlap share memory.
+  Byte accounting then reports each slot backing once, keeping the
+  zero-alloc-after-freeze benchmark contract intact.
 """
 
 from __future__ import annotations
@@ -16,38 +31,110 @@ import numpy as np
 
 from .. import profiler
 
-__all__ = ["BufferArena", "ArenaFrozenError"]
+__all__ = ["BufferArena", "ArenaFrozenError", "SlotPlan"]
 
 
 class ArenaFrozenError(RuntimeError):
     """A replay step tried to allocate after compilation finished."""
 
 
+class SlotPlan:
+    """Assignment of arena allocation indices onto shared byte slots.
+
+    ``assignments`` maps allocation index -> slot id; ``capacities``
+    maps slot id -> backing size in bytes (the max member size).  The
+    mapping is positional: it only makes sense when the trace that
+    produced the liveness intervals is re-traced deterministically, so
+    the N-th ``alloc`` call lands on the N-th analysed buffer.
+    """
+
+    def __init__(self, assignments, capacities):
+        self.assignments = dict(assignments)
+        self.capacities = dict(capacities)
+
+    @property
+    def slot_bytes(self):
+        """Total bytes of all slot backings."""
+        return sum(self.capacities.values())
+
+    def __len__(self):
+        return len(self.assignments)
+
+
 class BufferArena:
     """Owns the preallocated numpy buffers of one compiled trace."""
 
-    def __init__(self, label="serve.arena"):
+    def __init__(self, label="serve.arena", slot_plan=None):
         self._buffers = []
+        self._persistent = []
+        self._slot_backings = {}
+        self.slot_plan = slot_plan
         self.label = label
         self.nbytes = 0
         self.frozen = False
 
-    def alloc(self, shape, dtype):
-        """Allocate a zero-initialised buffer (compile time only)."""
+    def alloc(self, shape, dtype, persistent=False):
+        """Allocate a zero-initialised buffer (compile time only).
+
+        ``persistent=True`` declares that the buffer's contents carry
+        meaning across replays (compile-time constants, optimizer
+        state); such buffers are never placed in a shared slot.
+        """
         if self.frozen:
             raise ArenaFrozenError(
                 "arena is frozen: plan replay must not allocate buffers "
                 "(requested shape {} dtype {})".format(shape, np.dtype(dtype))
             )
-        buffer = np.zeros(shape, dtype=dtype)
+        index = len(self._buffers)
+        slot = None
+        if self.slot_plan is not None:
+            slot = self.slot_plan.assignments.get(index)
+        if slot is None:
+            buffer = np.zeros(shape, dtype=dtype)
+            self.nbytes += buffer.nbytes
+            profiler.record_bytes(self.label, buffer.nbytes)
+        else:
+            if persistent:
+                raise ValueError(
+                    "allocation {} is persistent but the slot plan maps it "
+                    "into shared slot {}".format(index, slot)
+                )
+            buffer = self._slot_view(slot, shape, dtype)
         self._buffers.append(buffer)
-        self.nbytes += buffer.nbytes
-        profiler.record_bytes(self.label, buffer.nbytes)
+        self._persistent.append(bool(persistent))
         return buffer
 
-    def alloc_like(self, array):
+    def _slot_view(self, slot, shape, dtype):
+        """A view of ``slot``'s backing with the requested shape/dtype."""
+        dtype = np.dtype(dtype)
+        backing = self._slot_backings.get(slot)
+        if backing is None:
+            capacity = int(self.slot_plan.capacities[slot])
+            backing = np.zeros(capacity, dtype=np.uint8)
+            self._slot_backings[slot] = backing
+            self.nbytes += capacity
+            profiler.record_bytes(self.label, capacity)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes > backing.nbytes:
+            raise ValueError(
+                "slot {} backing of {} bytes cannot hold a {} byte "
+                "allocation".format(slot, backing.nbytes, nbytes)
+            )
+        return backing[:nbytes].view(dtype).reshape(shape)
+
+    def alloc_like(self, array, persistent=False):
         """Allocate a buffer with ``array``'s shape and dtype."""
-        return self.alloc(array.shape, array.dtype)
+        return self.alloc(array.shape, array.dtype, persistent=persistent)
+
+    @property
+    def buffers(self):
+        """The allocated buffers, in allocation order."""
+        return tuple(self._buffers)
+
+    @property
+    def persistent_flags(self):
+        """Per-allocation persistence flags, in allocation order."""
+        return tuple(self._persistent)
 
     def freeze(self):
         """Seal the arena; later :meth:`alloc` calls raise."""

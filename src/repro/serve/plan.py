@@ -113,9 +113,14 @@ class PlanContext:
         self.sparse_threshold = sparse_threshold
         self.steps = []
 
-    def alloc(self, shape, dtype):
-        """Allocate an intermediate buffer in the plan's arena."""
-        return self.arena.alloc(shape, dtype)
+    def alloc(self, shape, dtype, persistent=False):
+        """Allocate an intermediate buffer in the plan's arena.
+
+        ``persistent=True`` marks a buffer whose compile-time contents
+        matter at replay (e.g. a pre-written constant region); the plan
+        auditor excludes such buffers from poisoning and slot reuse.
+        """
+        return self.arena.alloc(shape, dtype, persistent=persistent)
 
     def bool_buf(self, shape):
         """Allocate a boolean scratch buffer (where-masks, comparisons)."""
@@ -299,15 +304,21 @@ class Plan:
     cache_limit:
         Maximum number of shape-signature traces kept before the oldest
         is evicted.
+    arena_factory:
+        Zero-argument callable producing the arena each trace allocates
+        from; defaults to :class:`~repro.serve.arena.BufferArena`.  The
+        plan auditor passes a slot-plan arena here to re-trace with
+        liveness-colored buffer reuse.
     """
 
     def __init__(self, module, hints=None, verify=True, sparse_threshold=0.5,
-                 cache_limit=16):
+                 cache_limit=16, arena_factory=None):
         self.module = module
         self._hints = hints
         self._verify = verify
         self._sparse_threshold = sparse_threshold
         self._cache_limit = cache_limit
+        self._arena_factory = arena_factory or BufferArena
         self._traces = OrderedDict()
         self.compile_count = 0
 
@@ -319,7 +330,7 @@ class Plan:
         try:
             with no_grad():
                 reference = _strip_output(_call_eager(module, values))
-            arena = BufferArena()
+            arena = self._arena_factory()
             input_buffers = _alloc_inputs(values, arena)
             context = PlanContext(arena, self._hints, self._sparse_threshold)
             output = context.build(module, input_buffers)
@@ -378,6 +389,21 @@ class Plan:
             best = min(best, time.perf_counter() - start)
         profiler.record_time("serve.plan_run", best)
         return best
+
+    def retrace(self, inputs, arena_factory=None):
+        """Recompile the trace for ``inputs``' signature from scratch.
+
+        Optionally swaps the plan's arena factory first — the auditor
+        uses this to rebuild a verified trace over a slot-plan arena.
+        Compilation is deterministic (eval mode, no RNG), so the N-th
+        allocation of the re-trace corresponds to the N-th buffer of
+        the analysed trace.
+        """
+        values = _to_arrays(inputs)
+        if arena_factory is not None:
+            self._arena_factory = arena_factory
+        self._traces.pop(_signature(values), None)
+        return self._trace_for(values)
 
     # -- introspection --------------------------------------------------
     @property
@@ -598,7 +624,10 @@ def _plan_conv2d(module, inputs, ctx):
     ow = conv_mod._out_size(w, kw, stride, padding)
     dtype = np.result_type(x.dtype, weight.dtype)
 
-    padded = ctx.alloc((n, c, h + 2 * padding, w + 2 * padding), dtype)
+    # Persistent: replay steps only rewrite the interior view; the zero
+    # padding ring comes from the alloc-time fill and must survive reuse.
+    padded = ctx.alloc((n, c, h + 2 * padding, w + 2 * padding), dtype,
+                       persistent=True)
     interior = padded[:, :, padding:padding + h, padding:padding + w]
     flat = padded.reshape(-1)
     index = conv_mod._gather_index(n, c, h, w, kh, kw, stride, padding, oh, ow)
@@ -691,10 +720,17 @@ def _sequence_inputs(module, inputs):
 
 
 class _GateBuffers:
-    """Shared per-gate scratch for the recurrent rules."""
+    """Shared per-gate scratch for the recurrent rules.
 
-    def __init__(self, ctx, batch, hidden, dtype):
-        self.pre = ctx.alloc((batch, hidden), dtype)
+    ``pre`` holds gate pre-activations in the GRU step and doubles as
+    mask-blend scratch; the LSTM rules sum pre-activations directly in
+    ``gates4``, so they only allocate ``pre`` when a mask blend needs
+    it (``with_pre=False`` otherwise — the plan auditor flags the dead
+    buffer if it is allocated unused).
+    """
+
+    def __init__(self, ctx, batch, hidden, dtype, with_pre=True):
+        self.pre = ctx.alloc((batch, hidden), dtype) if with_pre else None
         self.tmp = ctx.alloc((batch, hidden), dtype)
         self.scratch = ctx.alloc((batch, hidden), dtype)
         self.mask = ctx.bool_buf((batch, hidden))
@@ -844,15 +880,17 @@ def _lstm_gate_step(gates4, parts, c_prev, h_out, c_out, gbuf):
     np.multiply(o, gbuf.tmp, out=h_out)
 
 
-def _lstm_buffers(ctx, cell, batch, dtype):
+def _lstm_buffers(ctx, cell, batch, dtype, with_pre=False, with_rec=False):
     hidden = cell.hidden_size
-    gbuf = _GateBuffers(ctx, batch, hidden, dtype)
+    gbuf = _GateBuffers(ctx, batch, hidden, dtype, with_pre=with_pre)
     pins = {"u": ctx.pin(cell.u.data.T)}
     parts = tuple(
         ctx.alloc((batch, hidden), dtype) for _ in range(4)
     )  # repro-lint: allow[alloc-in-loop] compile-time gate buffers
     gates4 = ctx.alloc((batch, 4 * hidden), dtype)
-    rec = ctx.alloc((batch, 4 * hidden), dtype)
+    # The sequence rule hoists the input projection and sums recurrent
+    # terms into gates4 directly, so only the cell rule needs rec.
+    rec = ctx.alloc((batch, 4 * hidden), dtype) if with_rec else None
     return gbuf, pins, parts, gates4, rec
 
 
@@ -866,7 +904,8 @@ def _plan_lstm_cell(module, inputs, ctx):
     batch = x.shape[0]
     hidden = module.hidden_size
     dtype = np.result_type(x.dtype, h.dtype, c.dtype, module.w.data.dtype)
-    gbuf, pins, parts, gates4, rec = _lstm_buffers(ctx, module, batch, dtype)
+    gbuf, pins, parts, gates4, rec = _lstm_buffers(ctx, module, batch, dtype,
+                                                   with_rec=True)
     w_t = ctx.pin(module.w.data.T)
     b = ctx.pin(module.b.data)
     h_out = ctx.alloc((batch, hidden), dtype)
@@ -890,7 +929,8 @@ def _plan_lstm(module, inputs, ctx):
     batch, steps, features = x.shape
     hidden = module.hidden_size
     dtype = np.result_type(x.dtype, cell.w.data.dtype)
-    gbuf, pins, parts, gates4, _ = _lstm_buffers(ctx, cell, batch, dtype)
+    gbuf, pins, parts, gates4, _ = _lstm_buffers(ctx, cell, batch, dtype,
+                                                 with_pre=mask is not None)
     w_t = ctx.pin(cell.w.data.T)
     b = ctx.pin(cell.b.data)
     projected = ctx.alloc((batch * steps, 4 * hidden), dtype)
@@ -994,7 +1034,9 @@ def _concat_with_ones(ctx, views, dtype):
     """Buffer holding [views...; 1] with the ones column set at compile."""
     batch = views[0].shape[0]
     total = sum(v.shape[1] for v in views)
-    buffer = ctx.alloc((batch, total + 1), dtype)
+    # Persistent: the ones column is written once here at compile time
+    # and only the view columns are refilled per replay.
+    buffer = ctx.alloc((batch, total + 1), dtype, persistent=True)
     buffer[:, total] = 1.0
     slices = []
     start = 0

@@ -30,7 +30,7 @@ import numpy as np
 
 from .plan import TrainPlan, _grad_dtype
 
-__all__ = ["ParallelTrainer", "PerExampleGradientPool"]
+__all__ = ["ParallelTrainer", "PerExampleGradientPool", "shared_slab_layout"]
 
 
 def _default_workers():
@@ -74,6 +74,26 @@ def _reseed_dropouts(module, seed_seq):
     children = seed_seq.spawn(len(dropouts))
     for drop, child in zip(dropouts, children):
         drop.rng = np.random.default_rng(child)
+
+
+def shared_slab_layout(workers, flat_size, itemsize):
+    """Byte-range layout of the shared-memory slabs, for the HB auditor.
+
+    Returns the parameter-slab segment and the per-worker gradient row
+    segments as ``(name, start_byte, end_byte)`` triples within their
+    slab.  :class:`ParallelTrainer` materialises exactly this layout —
+    one flat parameter vector, and a ``(workers, flat_size)`` gradient
+    matrix whose row *i* is worker *i*'s private output segment.  The
+    happens-before auditor in :mod:`repro.analysis.plans.concurrency`
+    builds its event model from here and cross-checks the ranges
+    against a live ndarray template, so the audited model cannot drift
+    from the trainer's real memory map.
+    """
+    row = int(flat_size) * int(itemsize)
+    params = ("params", 0, row)
+    grad_rows = [("grads[{}]".format(i), i * row, (i + 1) * row)
+                 for i in range(int(workers))]
+    return params, grad_rows
 
 
 def _worker_loop(conn, module, params_view, grad_row, seed_seq,
@@ -156,7 +176,7 @@ class ParallelTrainer:
             buffer=grad_shm.buf)
         self._total = np.empty(self._flat_size, dtype=self._flat_dtype)
         self._scaled = np.empty(self._flat_size, dtype=self._flat_dtype)
-        self.plan.read_flat_params(out=self._params)
+        self.plan.read_flat_params(out=self._params)  # repro-lint: allow[shm-write-protocol] protocol publish-params step
 
         context = multiprocessing.get_context("fork")
         seed_children = np.random.SeedSequence(seed).spawn(workers)
@@ -183,7 +203,7 @@ class ParallelTrainer:
         targets = _split_batch(np.asarray(target), self.workers)
         sizes = [_batch_size(t) for t in targets]
         total_rows = float(sum(sizes))
-        self.plan.read_flat_params(out=self._params)
+        self.plan.read_flat_params(out=self._params)  # repro-lint: allow[shm-write-protocol] protocol publish-params step
         for conn, shard, shard_target in zip(self._conns, shards, targets):
             conn.send((shard, shard_target))
         losses = []
@@ -324,7 +344,7 @@ class PerExampleGradientPool:
         self._grads = np.ndarray(
             (self.workers, self._flat_size), dtype=self._flat_dtype,
             buffer=grad_shm.buf)
-        self.plan.read_flat_params(out=self._params)
+        self.plan.read_flat_params(out=self._params)  # repro-lint: allow[shm-write-protocol] protocol publish-params step
         context = multiprocessing.get_context("fork")
         for index in range(self.workers):
             parent_conn, child_conn = context.Pipe()
@@ -360,7 +380,7 @@ class PerExampleGradientPool:
         parts = min(self.workers, len(features))
         shards = _split_batch(features, parts)
         label_shards = _split_batch(labels, parts)
-        self.plan.read_flat_params(out=self._params)
+        self.plan.read_flat_params(out=self._params)  # repro-lint: allow[shm-write-protocol] protocol publish-params step
         for conn, shard, shard_labels in zip(self._conns, shards,
                                              label_shards):
             conn.send((shard, shard_labels))

@@ -76,8 +76,8 @@ __all__ = [
 class TrainingArena(BufferArena):
     """Arena for training plans; bytes accounted under ``train.arena``."""
 
-    def __init__(self):
-        super().__init__(label="train.arena")
+    def __init__(self, slot_plan=None):
+        super().__init__(label="train.arena", slot_plan=slot_plan)
 
 
 class TrainVerificationError(RuntimeError):
@@ -144,8 +144,8 @@ class TrainContext:
         self._keepalive = []
 
     # -- buffers --------------------------------------------------------
-    def alloc(self, shape, dtype):
-        return self.arena.alloc(shape, dtype)
+    def alloc(self, shape, dtype, persistent=False):
+        return self.arena.alloc(shape, dtype, persistent=persistent)
 
     def bool_buf(self, shape):
         return self.arena.alloc(shape, np.dtype(bool))
@@ -438,7 +438,9 @@ def _build_sgd_update(spec, lr_cell, param_array, grad, state, ctx):
     momentum, nesterov, wd = spec.momentum, spec.nesterov, spec.weight_decay
     velocity = state.get("velocity")
     if momentum and velocity is None:
-        velocity = state["velocity"] = ctx.alloc(p.shape, grad.dtype)
+        # Persistent: momentum carries across steps.
+        velocity = state["velocity"] = ctx.alloc(p.shape, grad.dtype,
+                                                 persistent=True)
 
     def update():
         if wd:
@@ -468,8 +470,9 @@ def _build_adam_update(spec, lr_cell, counter, param_array, grad, state, ctx):
     b1, b2, eps, wd = spec.beta1, spec.beta2, spec.eps, spec.weight_decay
     m = state.get("m")
     if m is None:
-        m = state["m"] = ctx.alloc(p.shape, grad.dtype)
-        state["v"] = ctx.alloc(p.shape, grad.dtype)
+        # Persistent: Adam moments carry across steps.
+        m = state["m"] = ctx.alloc(p.shape, grad.dtype, persistent=True)
+        state["v"] = ctx.alloc(p.shape, grad.dtype, persistent=True)
     v = state["v"]
 
     def update():
@@ -554,7 +557,8 @@ class TrainPlan:
     """
 
     def __init__(self, module, loss="cross_entropy", optimizer="sgd",
-                 optimizer_args=None, verify=True, cache_limit=8):
+                 optimizer_args=None, verify=True, cache_limit=8,
+                 arena_factory=None):
         if loss not in _LOSS_BUILDERS:
             raise ValueError(
                 "loss must be one of {}; got {!r}".format(
@@ -564,6 +568,7 @@ class TrainPlan:
         self.spec = _OptimizerSpec.resolve(optimizer, optimizer_args)
         self._verify = verify
         self._cache_limit = cache_limit
+        self._arena_factory = arena_factory or TrainingArena
         self._traces = OrderedDict()
         self._last = None
         self._bound_params = None   # [(name, param, array)]
@@ -734,7 +739,7 @@ class TrainPlan:
             for rng, state in rng_states:
                 rng.bit_generator.state = state
 
-            arena = TrainingArena()
+            arena = self._arena_factory()
             ctx = TrainContext(arena)
             input_buffers = _alloc_inputs(values, arena)
             target_buffer = arena.alloc(target.shape, target.dtype)
@@ -911,6 +916,39 @@ class TrainPlan:
                 key = bname if not prefix else prefix + "." + bname
                 if key in state:
                     np.copyto(arr, state[key])
+
+    def retrace(self, inputs, target, arena_factory=None):
+        """Recompile the trace for this input/target signature from scratch.
+
+        The plan auditor uses this to rebuild a verified trace over a
+        slot-plan arena.  Optimizer state buffers live in ``_opt_state``
+        and are shared across traces, which would shift allocation
+        order on a re-trace; instead the state is saved, reallocated
+        fresh (so the re-trace's allocation sequence matches the
+        original compile exactly), and the saved values are copied in.
+        All cached traces are dropped — older traces would otherwise
+        keep closures over the orphaned state buffers.
+        """
+        values = _to_arrays(inputs)
+        coerced = self._coerce_target(target)
+        if arena_factory is not None:
+            self._arena_factory = arena_factory
+        saved_state = {
+            key: {name: np.array(buf, copy=True)
+                  for name, buf in state.items()}
+            for key, state in self._opt_state.items()
+        }
+        self._opt_state.clear()
+        self._traces.clear()
+        self._last = None
+        trace = self._trace_for(values, coerced)
+        with self._unlocked():
+            for key, state in self._opt_state.items():
+                for name, buf in state.items():
+                    old = saved_state.get(key, {}).get(name)
+                    if old is not None:
+                        np.copyto(buf, old)
+        return trace
 
     # -- introspection --------------------------------------------------
     @property
@@ -1354,7 +1392,9 @@ def _train_conv2d(module, inputs, ctx, activation=None):
     dtype = np.result_type(x.dtype, weight.data.dtype)
     hp, wp = h + 2 * padding, w + 2 * padding
 
-    padded = ctx.alloc((n, c, hp, wp), dtype)
+    # Persistent: steps only rewrite the interior view; the zero padding
+    # ring comes from the alloc-time fill and must survive slot reuse.
+    padded = ctx.alloc((n, c, hp, wp), dtype, persistent=True)
     interior = ctx.keep(padded[:, :, padding:padding + h, padding:padding + w])
     flat = ctx.keep(padded.reshape(-1))
     index = conv_mod._gather_index(n, c, h, w, kh, kw, stride, padding, oh, ow)
@@ -1782,7 +1822,8 @@ def _train_gru(module, inputs, ctx):
     pz_half = ctx.keep(prz[:, hidden:])
     prz3 = ctx.keep(prz.reshape(batch, steps, 2 * hidden))
     ph3 = ctx.keep(ph.reshape(batch, steps, hidden))
-    hs = ctx.alloc((steps + 1, batch, hidden), dtype)
+    # Persistent: row 0 is the zero initial state, written once here.
+    hs = ctx.alloc((steps + 1, batch, hidden), dtype, persistent=True)
     hs[0] = 0.0  # h0 is a fresh zero state every step; never rewritten
     rzs = ctx.alloc((steps, batch, 2 * hidden), dtype)
     cs = ctx.alloc((steps, batch, hidden), dtype)
@@ -2115,8 +2156,9 @@ def _train_lstm(module, inputs, ctx):
     uT = ctx.keep(cell.u.data.T)
     p = ctx.alloc((rows, 4 * hidden), dtype)
     p3 = ctx.keep(p.reshape(batch, steps, 4 * hidden))
-    hs = ctx.alloc((steps + 1, batch, hidden), dtype)
-    cs = ctx.alloc((steps + 1, batch, hidden), dtype)
+    # Persistent: row 0 of each is the zero initial state, written once.
+    hs = ctx.alloc((steps + 1, batch, hidden), dtype, persistent=True)
+    cs = ctx.alloc((steps + 1, batch, hidden), dtype, persistent=True)
     hs[0] = 0.0
     cs[0] = 0.0
     gates_saved = ctx.alloc((steps, batch, 4 * hidden), dtype)
@@ -2126,15 +2168,17 @@ def _train_lstm(module, inputs, ctx):
     gb_f = ctx.keep(gbuf[:, hidden:2 * hidden])
     gb_g = ctx.keep(gbuf[:, 2 * hidden:3 * hidden])
     gb_o = ctx.keep(gbuf[:, 3 * hidden:])
-    pre = ctx.alloc((batch, hidden), dtype)
     tmp = ctx.alloc((batch, hidden), dtype)
     scratch = ctx.alloc((batch, hidden), dtype)
     sigmask = ctx.bool_buf((batch, hidden))
+    pre = None
     mcols = None
     inv = None
     hnew = None
     cnew = None
     if mask is not None:
+        # pre is only blend scratch for the masked state carry.
+        pre = ctx.alloc((batch, hidden), dtype)
         mcols = ctx.alloc((batch, steps), dtype)
         inv = ctx.alloc((batch, 1), dtype)
         hnew = ctx.alloc((batch, hidden), dtype)
@@ -2366,7 +2410,8 @@ def _train_concat_with_ones(ctx, views, dtype):
     """
     batch = views[0].shape[0]
     total = sum(v.shape[1] for v in views)
-    buffer = ctx.alloc((batch, total + 1), dtype)
+    # Persistent: the ones column is written once here at compile time.
+    buffer = ctx.alloc((batch, total + 1), dtype, persistent=True)
     buffer[:, total] = 1.0
     pairs = []
     offsets = []

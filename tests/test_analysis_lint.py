@@ -148,6 +148,7 @@ def test_rules_tuple_is_exhaustive():
     assert set(lint.RULES) == {
         "np-random", "dtype-literal", "param-data", "hot-loop",
         "alloc-in-loop",
+        "shm-write-protocol", "fork-after-thread", "unjoined-worker",
         "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
         "dp-unaccounted-release", "dp-epsilon-no-delta",
     }
@@ -214,3 +215,118 @@ def test_alloc_in_while_loop_fires_under_serve(tmp_path):
         "    chunk = np.empty(8)\n",
     )
     assert [v.rule for v in lint_file(path)] == ["alloc-in-loop"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency rules (scoped to repro/serve/ and repro/train/)
+# ----------------------------------------------------------------------
+def _train_file(tmp_path, text):
+    train_dir = tmp_path / "repro" / "train"
+    train_dir.mkdir(parents=True)
+    path = train_dir / "fixture.py"
+    path.write_text(text)
+    return path
+
+
+SHM_WRITE_SOURCE = (
+    "import numpy as np\n"
+    "def attach(shm, grads_shm):\n"
+    "    params = np.ndarray((4,), dtype='f8', buffer=shm.buf)\n"
+    "    grads = np.ndarray((2, 4), dtype='f8', buffer=grads_shm.buf)\n"
+    "    params[:] = 0.0\n"
+    "    np.add(grads[0], 1.0, out=grads[0])\n"
+    "    np.copyto(params, np.ones(4))\n"
+)
+
+
+def test_shm_write_fires_under_train(tmp_path):
+    violations = lint_file(_train_file(tmp_path, SHM_WRITE_SOURCE))
+    assert [v.rule for v in violations] == ["shm-write-protocol"] * 3
+
+
+def test_shm_write_scoped_to_runtime_paths(tmp_path):
+    path = tmp_path / "elsewhere.py"
+    path.write_text(SHM_WRITE_SOURCE)
+    assert lint_file(path) == []
+
+
+def test_shm_rebind_and_private_writes_are_fine(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import numpy as np\n"
+        "def attach(shm):\n"
+        "    params = np.ndarray((4,), dtype='f8', buffer=shm.buf)\n"
+        "    params = None\n"       # releasing the view, not writing
+        "    local = np.zeros(4)"
+        "  # repro-lint: allow[alloc-in-loop] not in a loop anyway\n"
+        "    local[:] = 1.0\n"
+        "    return params\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_shm_write_waiver_suppresses(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import numpy as np\n"
+        "def publish(shm, plan):\n"
+        "    params = np.ndarray((4,), dtype='f8', buffer=shm.buf)\n"
+        "    plan.read_flat_params(out=params)"
+        "  # repro-lint: allow[shm-write-protocol] publish-params step\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_fork_after_thread_fires_under_train(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import threading\n"
+        "import multiprocessing\n"
+        "ctx = multiprocessing.get_context('fork')\n",
+    )
+    assert [v.rule for v in lint_file(path)] == ["fork-after-thread"]
+
+
+def test_fork_without_threading_is_fine(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import multiprocessing\n"
+        "ctx = multiprocessing.get_context('fork')\n"
+        "ctx2 = multiprocessing.get_context('spawn')\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_unjoined_worker_fires_under_train(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import multiprocessing\n"
+        "def launch(ctx):\n"
+        "    proc = ctx.Process(target=print, daemon=True)\n"
+        "    proc.start()\n",
+    )
+    assert [v.rule for v in lint_file(path)] == ["unjoined-worker"]
+
+
+def test_joined_worker_is_fine(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import multiprocessing\n"
+        "def launch(ctx):\n"
+        "    proc = ctx.Process(target=print, daemon=True)\n"
+        "    proc.start()\n"
+        "    proc.join()\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_string_join_does_not_count_as_worker_join(tmp_path):
+    path = _train_file(
+        tmp_path,
+        "import multiprocessing\n"
+        "def launch(ctx):\n"
+        "    proc = ctx.Process(target=print)\n"
+        "    proc.start()\n"
+        "    return ', '.join(['a', 'b'])\n",
+    )
+    assert [v.rule for v in lint_file(path)] == ["unjoined-worker"]
