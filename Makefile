@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check train-check plan-audit bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit serve-check train-check plan-audit bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -46,6 +46,15 @@ privacy-audit:
 serve-check:
 	python -m pytest tests/test_serve_plan.py tests/test_serve_server.py -q
 	python -m pytest benchmarks/test_serving_bench.py -q
+
+# Fleet gate: multi-model registry + admission control + SLO batching
+# (including the deterministic 10k-request soak with faults injected),
+# cascade escalation bit-equivalence against the eager early-exit
+# reference, the open-loop traffic generator, and the early-exit gate
+# unit tests the cascade's decisions are pinned to.
+fleet-check:
+	python -m pytest tests/test_serve_fleet.py tests/test_serve_cascade.py \
+		tests/test_serve_traffic.py tests/test_earlyexit.py -q
 
 # Training gate: compiled plan/eager training equivalence across every
 # registered module, the multi-process trainer's determinism and its

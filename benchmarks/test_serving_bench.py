@@ -24,10 +24,25 @@ import time
 import numpy as np
 import pytest
 
-from repro import profiler
+from repro import nn, profiler
 from repro.core.model import MultiViewGRUClassifier
-from repro.serve import InferenceServer, compile_plan
-from repro.serve.server import MultiViewCollator
+from repro.faults import FaultInjector, FaultSpec
+from repro.serve import (
+    FleetServer,
+    InferenceServer,
+    ModelRegistry,
+    OpenLoopTraffic,
+    TenantConfig,
+    TenantLoad,
+    TrafficSpec,
+    compile_plan,
+    run_soak,
+)
+from repro.serve.server import (
+    MultiViewCollator,
+    SimulatedClock,
+    VectorCollator,
+)
 from repro.tensor import Tensor, no_grad
 
 RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -39,8 +54,13 @@ REQUESTS = 64
 MAX_BATCH = 8
 REPS = 3
 
+FLEET_FEATURES = 64
+FLEET_CLASSES = 10
+FLEET_REQUESTS = 2000
+
 _results = {}
 _coloring = {}
+_fleet = {}
 
 
 @pytest.fixture(scope="module")
@@ -80,6 +100,8 @@ def write_results():
                 / _results["plan_batched"]["total_s"], 2)
         if _coloring:
             payload["arena_slot_coloring"] = dict(_coloring)
+        if _fleet:
+            payload["fleet"] = dict(_fleet)
         RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -227,3 +249,132 @@ def test_arena_slot_coloring(workload):
     })
     print("\nserving arena coloring: {} -> {} bytes (-{:.1f}%)".format(
         report.before_bytes, report.after_bytes, 100.0 * report.reduction))
+
+
+def test_fleet_multi_tenant_under_load():
+    """Serving-fleet benchmark: p50/p99 under open-loop load per tenant.
+
+    Three tenants share a two-model registry (compressed-sized "fast"
+    model behind the early-exit cascade, plus the full model) over one
+    arena pool.  Per-batch service times are *measured* first
+    (``plan.measure`` on every warm (model, batch-size) trace), then an
+    open-loop diurnal-plus-bursts arrival schedule replays on the
+    simulated clock with those measured costs charged per batch — so the
+    reported per-tenant p50/p99 include real queueing-under-load, not
+    just isolated replay latency.  Asserts the arena contract (zero
+    ``serve.arena`` bytes after registry freeze) and ticket
+    conservation.
+    """
+    from repro.nn import losses
+    from repro.optim import Adam
+    from repro.synth import make_digits
+
+    digits_x, digits_y = make_digits(600, seed=3)
+
+    def make_model(hidden, seed, epochs):
+        rng = np.random.default_rng(seed)
+        model = nn.Sequential(
+            nn.Linear(FLEET_FEATURES, hidden, rng=rng), nn.Tanh(),
+            nn.Linear(hidden, FLEET_CLASSES, rng=rng))
+        optimizer = Adam(model.parameters(), lr=0.02)
+        for _ in range(epochs):
+            order = rng.permutation(len(digits_x))
+            for start in range(0, len(digits_x), 64):
+                picks = order[start:start + 64]
+                optimizer.zero_grad()
+                losses.cross_entropy(model(Tensor(digits_x[picks])),
+                                     digits_y[picks]).backward()
+                optimizer.step()
+        return model
+
+    example = digits_x[0]
+    registry = ModelRegistry()
+    registry.register("fast", make_model(16, seed=1, epochs=3),
+                      VectorCollator(), [example], max_batch=MAX_BATCH)
+    registry.register("full", make_model(64, seed=2, epochs=6),
+                      VectorCollator(), [example], max_batch=MAX_BATCH)
+    registry.add_cascade("cascade", "fast", "full", threshold=1.2)
+    registry.freeze()
+
+    # Measured per-batch service cost for every warm trace.
+    costs = {}
+    for name, entry in registry.entries.items():
+        for size in entry.batch_sizes:
+            batch = entry.collator.collate([example] * size, size)
+            costs[(name, size)] = entry.plan.measure(batch, repeats=5)
+
+    clock = SimulatedClock()
+    fleet = FleetServer(
+        registry,
+        [TenantConfig("mobile", priority=0, rate=400.0, burst=80,
+                      slo_s=0.020),
+         TenantConfig("batch", priority=2, rate=250.0, burst=40),
+         TenantConfig("partner", priority=1, rate=None, max_queue=128)],
+        clock=clock, max_wait_ms=2.0,
+        service_model=lambda name, size: costs[(name, size)])
+    traffic = OpenLoopTraffic(
+        TrafficSpec(base_rate=700.0, diurnal_amplitude=0.5, period_s=4.0,
+                    burst_rate=1.0, burst_size=10, slow_upload_s=0.001),
+        [TenantLoad("mobile", 2.0, route="cascade"),
+         TenantLoad("batch", 1.0, model="full"),
+         TenantLoad("partner", 1.0, model="fast")],
+        seed=5,
+        injector=FaultInjector(FaultSpec(straggler_rate=0.05), seed=6))
+    arrivals = traffic.arrivals(6.0)[:FLEET_REQUESTS]
+    assert len(arrivals) == FLEET_REQUESTS
+    picks = np.random.default_rng(7).integers(0, len(digits_x),
+                                              size=FLEET_REQUESTS)
+    payloads = digits_x[picks]
+    index_of = {id(a): i for i, a in enumerate(arrivals)}
+
+    profiler.reset()
+    with profiler.profile():
+        tickets = run_soak(fleet, arrivals,
+                           lambda a: payloads[index_of[id(a)]], clock)
+    stats = profiler.get_stats()
+    profiler.reset()
+
+    metrics = fleet.metrics()
+    assert all(t.done for t in tickets)
+    assert sum(metrics["resolved"].values()) == FLEET_REQUESTS
+    assert metrics["resolved"]["error"] == 0
+    assert stats["extra_bytes"].get("serve.arena", 0) == 0, \
+        "fleet serving allocated arena bytes after registry freeze"
+    assert not stats["ops"], "fleet serving touched the autodiff engine"
+
+    pool_bytes = registry.arena_bytes()
+    _fleet.update({
+        "workload": {
+            "models": {"fast": "64-16-10 MLP (3 epochs)",
+                       "full": "64-64-10 MLP (6 epochs)"},
+            "requests": FLEET_REQUESTS,
+            "tenants": 3,
+            "traffic": "open-loop diurnal +50% swing, 10-request bursts, "
+                       "5% slow clients; measured per-batch service "
+                       "times on a simulated clock",
+        },
+        "arena_pool_bytes": pool_bytes["pool"],
+        "arena_bytes_without_sharing": pool_bytes["traces"],
+        "zero_alloc_after_warmup": True,
+        "escalation_rate": round(metrics["escalation_rate"], 4),
+        "batches": metrics["batches"],
+        "measured_service_s": {
+            "{}[{}]".format(name, size): round(cost, 6)
+            for (name, size), cost in sorted(costs.items())},
+        "tenants": {
+            name: {
+                "served": tenant["served"],
+                "rejected": tenant["rejected"],
+                "p50_latency_s": None if tenant["p50_latency_s"] is None
+                else round(tenant["p50_latency_s"], 6),
+                "p99_latency_s": None if tenant["p99_latency_s"] is None
+                else round(tenant["p99_latency_s"], 6),
+                "slo_s": tenant["slo_s"],
+                "slo_misses": tenant["slo_misses"],
+            }
+            for name, tenant in metrics["tenants"].items()},
+    })
+    for name, tenant in metrics["tenants"].items():
+        print("fleet tenant {}: p50 {} p99 {} served {} rejected {}".format(
+            name, tenant["p50_latency_s"], tenant["p99_latency_s"],
+            tenant["served"], tenant["rejected"]))

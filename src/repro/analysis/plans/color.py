@@ -178,11 +178,16 @@ def _two_fill_outputs(arena, write_inputs, execute, outputs, externals,
     return sums
 
 
-def color_plan(plan, inputs, ir):
+def color_plan(plan, inputs, ir, arena_factory=None):
     """Apply slot coloring to a serve plan trace; returns a SlotReport.
 
-    On any verification failure the plan is restored to an uncolored
-    trace before the error propagates.
+    ``arena_factory``, if given, is called with the built
+    :class:`~repro.serve.arena.SlotPlan` and must return the arena the
+    colored re-trace allocates from — the serving fleet passes a
+    factory that leases slot backings from a cross-model
+    :class:`~repro.serve.arena.ArenaPool`.  On any verification failure
+    the plan is restored to an uncolored trace before the error
+    propagates.
     """
     from ...serve import plan as serve_plan
 
@@ -200,10 +205,12 @@ def color_plan(plan, inputs, ir):
     ]
     if not slot_plan.assignments:
         return SlotReport(ir.label, before_bytes, before_bytes, [])
+    if arena_factory is None:
+        arena_factory = lambda sp: BufferArena(slot_plan=sp)
     try:
         trace = plan.retrace(
             values,
-            arena_factory=lambda: BufferArena(slot_plan=slot_plan))
+            arena_factory=lambda: arena_factory(slot_plan))
         # Only the audited signature is colored; later signatures would
         # reuse the positional assignments against a different
         # allocation sequence, so new traces get plain arenas.

@@ -16,7 +16,13 @@ from .private import (
     PrivateLocalTransformer,
     split_sequential,
 )
-from .earlyexit import EarlyExitNetwork
+from .earlyexit import (
+    EarlyExitNetwork,
+    ExitDecision,
+    entropy,
+    exit_gate,
+    softmax_probabilities,
+)
 
 __all__ = [
     "DeploymentReport",
@@ -31,4 +37,8 @@ __all__ = [
     "PrivateLocalTransformer",
     "split_sequential",
     "EarlyExitNetwork",
+    "ExitDecision",
+    "entropy",
+    "exit_gate",
+    "softmax_probabilities",
 ]

@@ -6,6 +6,14 @@ localized inference on mobile devices and complex inference in cloud
 servers".  The mechanism is an early-exit classifier: a small local head
 answers confident samples on the device; only uncertain samples continue
 to the cloud-side remainder of the network.
+
+The confidence gate itself — stable softmax, per-row entropy, threshold
+comparison — is exposed as module-level functions
+(:func:`softmax_probabilities`, :func:`entropy`, :func:`exit_gate`) so
+that the serving fleet's speculative cascade
+(:class:`repro.serve.fleet.CascadeRoute`) makes *bit-identical*
+escalation decisions to this module's eager reference path: both call
+the same gate on the same logits.
 """
 
 from __future__ import annotations
@@ -14,14 +22,91 @@ import numpy as np
 
 from ..nn import losses
 from ..optim import Adam
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, as_float_array, no_grad
 
-__all__ = ["EarlyExitNetwork"]
+__all__ = [
+    "EarlyExitNetwork",
+    "ExitDecision",
+    "entropy",
+    "exit_gate",
+    "softmax_probabilities",
+]
 
 
-def _entropy(probabilities):
-    clipped = np.clip(probabilities, 1e-12, 1.0)
-    return -(clipped * np.log(clipped)).sum(axis=1)
+def softmax_probabilities(logits):
+    """Row-wise stable softmax of a ``(batch, classes)`` logit array.
+
+    The computation stays in the logits' floating dtype (float32 logits
+    produce float32 probabilities); integer or list inputs are coerced
+    through :func:`repro.tensor.as_float_array`, which respects the
+    configurable default dtype instead of silently upcasting to float64.
+    """
+    logits = as_float_array(logits)
+    if logits.ndim != 2:
+        raise ValueError(
+            "expected (batch, classes) logits, got shape {}".format(
+                logits.shape))
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    probabilities = np.exp(shifted)
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    return probabilities
+
+
+def entropy(probabilities, normalize=False):
+    """Per-row Shannon entropy of a ``(batch, classes)`` probability array.
+
+    With ``normalize=True`` the entropy is divided by ``ln(classes)`` so
+    the gate value lives in [0, 1] regardless of the class count — the
+    calibrated form the serving cascade uses to share one threshold
+    across models with different output widths.  The result keeps the
+    input's floating dtype.
+    """
+    probabilities = as_float_array(probabilities)
+    tiny = np.asarray(1e-12, dtype=probabilities.dtype)
+    clipped = np.clip(probabilities, tiny, None)
+    values = -(clipped * np.log(clipped)).sum(axis=1)
+    if normalize:
+        classes = probabilities.shape[1]
+        if classes > 1:
+            values = values / np.asarray(np.log(classes),
+                                         dtype=probabilities.dtype)
+    return values
+
+
+class ExitDecision:
+    """Outcome of one confidence-gate evaluation on a logits batch."""
+
+    __slots__ = ("probabilities", "entropy", "exit_mask", "predictions")
+
+    def __init__(self, probabilities, entropy, exit_mask, predictions):
+        self.probabilities = probabilities
+        self.entropy = entropy
+        self.exit_mask = exit_mask
+        self.predictions = predictions
+
+    @property
+    def escalate_mask(self):
+        return ~self.exit_mask
+
+    @property
+    def exit_fraction(self):
+        return float(self.exit_mask.mean()) if self.exit_mask.size else 0.0
+
+
+def exit_gate(logits, threshold, normalize=False):
+    """Evaluate the early-exit confidence gate on a logits batch.
+
+    Returns an :class:`ExitDecision`: samples whose softmax entropy is
+    strictly below ``threshold`` exit locally (``exit_mask`` True); the
+    rest escalate.  This is the single shared implementation behind
+    :meth:`EarlyExitNetwork.predict` and the serving cascade, so the two
+    paths cannot drift.
+    """
+    probabilities = softmax_probabilities(logits)
+    values = entropy(probabilities, normalize=normalize)
+    exit_mask = values < threshold
+    predictions = probabilities.argmax(axis=1)
+    return ExitDecision(probabilities, values, exit_mask, predictions)
 
 
 class EarlyExitNetwork:
@@ -53,7 +138,7 @@ class EarlyExitNetwork:
         """Jointly train both exits (weighted sum of their losses)."""
         rng = np.random.default_rng(seed)
         optimizer = Adam(self.parameters(), lr=lr)
-        features = np.asarray(features)
+        features = as_float_array(features)
         labels = np.asarray(labels)
         n = len(features)
         for module in self._modules():
@@ -75,24 +160,33 @@ class EarlyExitNetwork:
                 optimizer.step()
         return self
 
-    def predict(self, features):
-        """Classify with early exit; returns (labels, exited_locally mask)."""
-        features = np.asarray(features)
+    def gate(self, features):
+        """Run the local exit and evaluate the confidence gate.
+
+        Returns ``(decision, trunk)`` where ``decision`` is the
+        :class:`ExitDecision` for the local head's logits and ``trunk``
+        is the local backbone activation (ndarray) escalation feeds on.
+        """
+        features = as_float_array(features)
         for module in self._modules():
             module.eval()
         with no_grad():
             trunk = self.backbone_local(Tensor(features))
             local_logits = self.exit_head(trunk).numpy()
-            shifted = local_logits - local_logits.max(axis=1, keepdims=True)
-            probs = np.exp(shifted)
-            probs /= probs.sum(axis=1, keepdims=True)
-            exit_mask = _entropy(probs) < self.threshold
-            predictions = probs.argmax(axis=1)
-            if (~exit_mask).any():
-                escalated = Tensor(trunk.numpy()[~exit_mask])
+        return exit_gate(local_logits, self.threshold), trunk.numpy()
+
+    def predict(self, features):
+        """Classify with early exit; returns (labels, exited_locally mask)."""
+        decision, trunk = self.gate(features)
+        predictions = decision.predictions
+        exit_mask = decision.exit_mask
+        if (~exit_mask).any():
+            with no_grad():
+                escalated = Tensor(trunk[~exit_mask])
                 cloud_logits = self.cloud_head(
                     self.backbone_cloud(escalated)).numpy()
-                predictions[~exit_mask] = cloud_logits.argmax(axis=1)
+            predictions = np.array(predictions, copy=True)
+            predictions[~exit_mask] = cloud_logits.argmax(axis=1)
         return predictions, exit_mask
 
     def accuracy_and_offload(self, features, labels):

@@ -10,13 +10,21 @@ inference-only path:
 * :func:`compile_plan` / :class:`Plan` — capture a module's forward once
   and replay it with zero graph construction and zero per-request
   allocation (:mod:`repro.serve.plan`);
-* :class:`BufferArena` — the preallocated intermediate storage a plan
-  replays into (:mod:`repro.serve.arena`);
+* :class:`BufferArena` / :class:`ArenaPool` — the preallocated
+  intermediate storage plans replay into, shareable across models
+  (:mod:`repro.serve.arena`);
 * :class:`InferenceServer` — dynamic request batching with
-  latency/throughput policy knobs (:mod:`repro.serve.server`).
+  latency/throughput policy knobs (:mod:`repro.serve.server`);
+* :class:`FleetServer` / :class:`ModelRegistry` — multi-tenant,
+  multi-model serving with admission control, priority scheduling,
+  SLO-aware batch sizing, and the early-exit speculative cascade
+  (:mod:`repro.serve.fleet`);
+* :class:`OpenLoopTraffic` / :func:`run_soak` — seeded open-loop load
+  generation and the deterministic soak harness
+  (:mod:`repro.serve.traffic`).
 """
 
-from .arena import ArenaFrozenError, BufferArena
+from .arena import ArenaFrozenError, ArenaPool, BufferArena
 from .plan import (
     Plan,
     PlanContext,
@@ -26,9 +34,29 @@ from .plan import (
     register_plan_rule,
 )
 from .server import InferenceServer, Request, SimulatedClock
+from .fleet import (
+    AdmissionError,
+    CascadeRoute,
+    FleetServer,
+    FleetTicket,
+    ModelRegistry,
+    RegistryAuditError,
+    ServiceEstimator,
+    TenantConfig,
+    TokenBucket,
+    slo_batch_size,
+)
+from .traffic import (
+    Arrival,
+    OpenLoopTraffic,
+    TenantLoad,
+    TrafficSpec,
+    run_soak,
+)
 
 __all__ = [
     "ArenaFrozenError",
+    "ArenaPool",
     "BufferArena",
     "Plan",
     "PlanContext",
@@ -39,4 +67,19 @@ __all__ = [
     "InferenceServer",
     "Request",
     "SimulatedClock",
+    "AdmissionError",
+    "CascadeRoute",
+    "FleetServer",
+    "FleetTicket",
+    "ModelRegistry",
+    "RegistryAuditError",
+    "ServiceEstimator",
+    "TenantConfig",
+    "TokenBucket",
+    "slo_batch_size",
+    "Arrival",
+    "OpenLoopTraffic",
+    "TenantLoad",
+    "TrafficSpec",
+    "run_soak",
 ]

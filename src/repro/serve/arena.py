@@ -23,6 +23,15 @@ Two extensions support the plan auditor (:mod:`repro.analysis.plans`):
   arrays, so buffers whose live ranges never overlap share memory.
   Byte accounting then reports each slot backing once, keeping the
   zero-alloc-after-freeze benchmark contract intact.
+
+The serving fleet adds a third layer: an :class:`ArenaPool` shares slot
+*backings* across the colored arenas of several models.  A single-
+threaded server only ever replays one plan at a time, so the scratch
+slots of model A and model B can occupy the same bytes; the pool sizes
+each slab to the largest capacity any member slot plan reserves for it.
+Pool slabs are allocated once (at registry freeze) under the pool's
+byte-accounting label, so a pool that grows after warm-up trips the
+same zero-alloc assertions a thawed arena would.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ import numpy as np
 
 from .. import profiler
 
-__all__ = ["BufferArena", "ArenaFrozenError", "SlotPlan"]
+__all__ = ["ArenaPool", "BufferArena", "ArenaFrozenError", "SlotPlan"]
 
 
 class ArenaFrozenError(RuntimeError):
@@ -61,14 +70,81 @@ class SlotPlan:
         return len(self.assignments)
 
 
+class ArenaPool:
+    """Slot backings shared by the colored arenas of multiple plans.
+
+    Replays on a single-threaded server are serialized, so the scratch
+    slots of different models (and of different batch-size traces of
+    the same model) may alias: the pool keys slabs by slot id and sizes
+    each to the maximum capacity reserved across every member slot
+    plan.  Call :meth:`reserve` with each model's slot plan before the
+    first lease so slabs are allocated at their final size; after
+    :meth:`freeze`, leasing a new slot raises instead of allocating.
+    """
+
+    def __init__(self, label="serve.arena"):
+        self.label = label
+        self._capacities = {}
+        self._slabs = {}
+        self.leases = 0
+        self.frozen = False
+
+    def reserve(self, slot_plan):
+        """Grow the planned per-slot capacities to cover ``slot_plan``."""
+        if self.frozen:
+            raise ArenaFrozenError(
+                "arena pool is frozen: reserve slot capacities before freeze"
+            )
+        for slot, capacity in slot_plan.capacities.items():
+            self._capacities[slot] = max(int(capacity),
+                                         self._capacities.get(slot, 0))
+
+    def lease(self, slot, capacity):
+        """The shared backing for ``slot`` (allocated on first lease)."""
+        slab = self._slabs.get(slot)
+        if slab is None:
+            if self.frozen:
+                raise ArenaFrozenError(
+                    "arena pool is frozen: slot {} was never reserved "
+                    "before freeze".format(slot)
+                )
+            size = max(int(capacity), self._capacities.get(slot, 0))
+            self._capacities[slot] = size
+            slab = np.zeros(size, dtype=np.uint8)
+            self._slabs[slot] = slab
+            profiler.record_bytes(self.label, size)
+        elif slab.nbytes < capacity:
+            raise ValueError(
+                "pool slab for slot {} holds {} bytes but the arena needs "
+                "{}; reserve() every slot plan before leasing".format(
+                    slot, slab.nbytes, capacity)
+            )
+        self.leases += 1
+        return slab
+
+    @property
+    def nbytes(self):
+        """Total bytes of the materialized shared slabs."""
+        return sum(slab.nbytes for slab in self._slabs.values())
+
+    def freeze(self):
+        """Seal the pool; leasing an unmaterialized slot then raises."""
+        self.frozen = True
+        return self
+
+    def __len__(self):
+        return len(self._slabs)
+
+
 class BufferArena:
     """Owns the preallocated numpy buffers of one compiled trace."""
 
-    def __init__(self, label="serve.arena", slot_plan=None):
+    def __init__(self, label="serve.arena", slot_plan=None, pool=None):
         self._buffers = []
         self._persistent = []
         self._slot_backings = {}
         self.slot_plan = slot_plan
+        self.pool = pool
         self.label = label
         self.nbytes = 0
         self.frozen = False
@@ -110,10 +186,17 @@ class BufferArena:
         backing = self._slot_backings.get(slot)
         if backing is None:
             capacity = int(self.slot_plan.capacities[slot])
-            backing = np.zeros(capacity, dtype=np.uint8)
+            if self.pool is not None:
+                # Shared bytes: the pool recorded them once at slab
+                # creation; each arena still counts the slab towards its
+                # own nbytes so SlotReport stays honest per trace.
+                backing = self.pool.lease(slot, capacity)
+                self.nbytes += backing.nbytes
+            else:
+                backing = np.zeros(capacity, dtype=np.uint8)
+                self.nbytes += capacity
+                profiler.record_bytes(self.label, capacity)
             self._slot_backings[slot] = backing
-            self.nbytes += capacity
-            profiler.record_bytes(self.label, capacity)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         if nbytes > backing.nbytes:
             raise ValueError(

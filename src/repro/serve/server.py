@@ -91,6 +91,12 @@ class Request:
         return self.done and self._error is not None
 
     def _resolve(self, result, error, now):
+        if self.done:
+            # Conservation invariant: every ticket resolves exactly once
+            # (result, error, or rejection).  A second resolution means a
+            # scheduling bug — double dispatch, or a cascade escalation
+            # racing its own fast answer — and must never be silent.
+            raise RuntimeError("request ticket was already resolved")
         self._result = result
         self._error = error
         self.done = True

@@ -330,3 +330,46 @@ def test_string_join_does_not_count_as_worker_join(tmp_path):
         "    return ', '.join(['a', 'b'])\n",
     )
     assert [v.rule for v in lint_file(path)] == ["unjoined-worker"]
+
+
+# ----------------------------------------------------------------------
+# Scope coverage for the serving-fleet modules (fleet.py / traffic.py)
+# ----------------------------------------------------------------------
+def _serve_module(tmp_path, name, text):
+    serve_dir = tmp_path / "repro" / "serve"
+    serve_dir.mkdir(parents=True, exist_ok=True)
+    path = serve_dir / name
+    path.write_text(text)
+    return path
+
+
+@pytest.mark.parametrize("module", ["fleet.py", "traffic.py"])
+def test_alloc_in_loop_scope_covers_fleet_modules(tmp_path, module):
+    # The scope match is by path, so a file with these exact names under
+    # repro/serve/ must be policed like any other serving module.
+    path = _serve_module(tmp_path, module, ALLOC_IN_LOOP_SOURCE)
+    assert [v.rule for v in lint_file(path)] == ["alloc-in-loop"] * 2
+
+
+@pytest.mark.parametrize("module", ["fleet.py", "traffic.py"])
+def test_unjoined_worker_scope_covers_fleet_modules(tmp_path, module):
+    path = _serve_module(
+        tmp_path, module,
+        "import threading\n"
+        "def launch():\n"
+        "    worker = threading.Thread(target=print, daemon=True)\n"
+        "    worker.start()\n",
+    )
+    assert [v.rule for v in lint_file(path)] == ["unjoined-worker"]
+
+
+def test_shipped_fleet_modules_are_in_scope_and_clean():
+    # The real sources, not fixtures: both new modules sit inside the
+    # alloc and concurrency scopes and pass their own lint.
+    for name in ("fleet.py", "traffic.py"):
+        path = REPO_ROOT / "src" / "repro" / "serve" / name
+        assert path.exists(), path
+        posix = path.resolve().as_posix()
+        assert any(part in posix for part in lint._ALLOC_SCOPE)
+        assert any(part in posix for part in lint._CONCURRENCY_SCOPE)
+        assert lint_file(path) == []

@@ -1,0 +1,193 @@
+"""Unit tests for the early-exit confidence gate and its dtype behavior.
+
+PR 8 wires :mod:`repro.inference.earlyexit` into the serving fleet's
+speculative cascade, so the gate gets its own unit suite: softmax/entropy
+numerics, threshold semantics, calibration across class counts, and the
+PR 2 dtype conventions (float32 logits stay float32; list inputs follow
+the configurable default dtype instead of silently going float64).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.inference import (
+    EarlyExitNetwork,
+    ExitDecision,
+    entropy,
+    exit_gate,
+    softmax_probabilities,
+)
+from repro.synth import make_digits
+from repro.tensor import get_default_dtype, set_default_dtype
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def restore_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestSoftmaxProbabilities:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(16, 7))
+        probabilities = softmax_probabilities(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities > 0).all()
+
+    def test_shift_invariant_and_overflow_safe(self, rng):
+        logits = rng.normal(size=(4, 5))
+        shifted = softmax_probabilities(logits + 100.0)
+        np.testing.assert_allclose(shifted, softmax_probabilities(logits),
+                                   rtol=1e-9)
+        extreme = softmax_probabilities(np.array([[1e30, -1e30, 0.0]]))
+        assert np.isfinite(extreme).all()
+        np.testing.assert_allclose(extreme[0, 0], 1.0)
+
+    def test_rejects_non_batch_shapes(self):
+        with pytest.raises(ValueError, match="batch, classes"):
+            softmax_probabilities(np.zeros(5))
+        with pytest.raises(ValueError, match="batch, classes"):
+            softmax_probabilities(np.zeros((2, 3, 4)))
+
+    def test_float32_stays_float32(self, rng):
+        logits = rng.normal(size=(8, 3)).astype(np.float32)
+        assert softmax_probabilities(logits).dtype == np.float32
+
+    def test_integer_input_uses_default_dtype(self, restore_dtype):
+        # Non-float inputs follow the configurable default (PR 2
+        # convention); float64 data keeps float64, so only the integer
+        # logits here pick up the float32 default.
+        set_default_dtype(np.float32)
+        probabilities = softmax_probabilities([[1, 2], [0, 0]])
+        assert probabilities.dtype == np.float32
+        kept = softmax_probabilities(np.zeros((2, 2), dtype=np.float64))
+        assert kept.dtype == np.float64
+
+
+class TestEntropy:
+    def test_uniform_is_maximal_and_peaked_is_zero(self):
+        uniform = np.full((1, 8), 1.0 / 8.0)
+        np.testing.assert_allclose(entropy(uniform), np.log(8), rtol=1e-12)
+        peaked = np.zeros((1, 8))
+        peaked[0, 0] = 1.0
+        # The 1e-12 clip floor contributes ~2e-10 nats on the zero
+        # entries; that's the resolution of the gate value near zero.
+        assert entropy(peaked)[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_zero_probabilities_do_not_produce_nan(self):
+        probabilities = np.array([[0.5, 0.5, 0.0, 0.0]])
+        value = entropy(probabilities)
+        assert np.isfinite(value).all()
+        np.testing.assert_allclose(value, np.log(2), rtol=1e-9)
+
+    def test_normalized_entropy_is_calibrated_across_widths(self):
+        # The normalized gate value of a uniform distribution is 1.0 for
+        # any class count — that's what lets one cascade threshold serve
+        # models with different output widths.
+        for classes in (2, 10, 100):
+            uniform = np.full((1, classes), 1.0 / classes)
+            assert entropy(uniform, normalize=True)[0] == pytest.approx(1.0)
+
+    def test_normalized_entropy_preserves_order(self, rng):
+        logits = rng.normal(size=(32, 10))
+        probabilities = softmax_probabilities(logits)
+        raw = entropy(probabilities)
+        scaled = entropy(probabilities, normalize=True)
+        np.testing.assert_allclose(scaled * np.log(10), raw, rtol=1e-9)
+
+    def test_dtype_preserved(self, rng):
+        probabilities = softmax_probabilities(
+            rng.normal(size=(4, 6)).astype(np.float32))
+        assert entropy(probabilities).dtype == np.float32
+        assert entropy(probabilities, normalize=True).dtype == np.float32
+
+
+class TestExitGate:
+    def test_threshold_extremes(self, rng):
+        logits = rng.normal(size=(16, 5))
+        everyone = exit_gate(logits, threshold=1e9)
+        assert everyone.exit_mask.all()
+        assert everyone.exit_fraction == 1.0
+        nobody = exit_gate(logits, threshold=0.0)
+        assert not nobody.exit_mask.any()
+        assert nobody.escalate_mask.all()
+
+    def test_confident_rows_exit_uncertain_rows_escalate(self):
+        logits = np.array([
+            [20.0, 0.0, 0.0],   # near one-hot: entropy ~ 0
+            [0.0, 0.0, 0.0],    # uniform: entropy = ln 3
+        ])
+        decision = exit_gate(logits, threshold=0.5)
+        assert decision.exit_mask.tolist() == [True, False]
+        assert decision.predictions[0] == 0
+        assert isinstance(decision, ExitDecision)
+
+    def test_gate_is_strict_less_than(self):
+        uniform = np.zeros((1, 4))
+        threshold = float(np.log(4))
+        decision = exit_gate(uniform, threshold)
+        # entropy == threshold exactly: does NOT exit (strict <), so a
+        # zero threshold always escalates.
+        assert not decision.exit_mask[0]
+
+    def test_normalized_gate_matches_scaled_threshold(self, rng):
+        logits = rng.normal(size=(64, 10))
+        raw = exit_gate(logits, threshold=0.5 * np.log(10))
+        scaled = exit_gate(logits, threshold=0.5, normalize=True)
+        np.testing.assert_array_equal(raw.exit_mask, scaled.exit_mask)
+
+    def test_empty_batch(self):
+        decision = exit_gate(np.zeros((0, 4)), threshold=0.5)
+        assert decision.exit_mask.shape == (0,)
+        assert decision.exit_fraction == 0.0
+
+
+class TestEarlyExitNetworkGate:
+    def build(self, rng, threshold):
+        return EarlyExitNetwork(
+            backbone_local=nn.Sequential(nn.Linear(64, 24, rng=rng),
+                                         nn.Tanh()),
+            exit_head=nn.Linear(24, 10, rng=rng),
+            backbone_cloud=nn.Sequential(nn.Linear(24, 24, rng=rng),
+                                         nn.Tanh()),
+            cloud_head=nn.Linear(24, 10, rng=rng),
+            threshold=threshold,
+        )
+
+    def test_predict_agrees_with_gate(self, rng):
+        x, _ = make_digits(64, seed=3)
+        network = self.build(rng, threshold=1.0)
+        decision, trunk = network.gate(x)
+        predictions, exit_mask = network.predict(x)
+        np.testing.assert_array_equal(exit_mask, decision.exit_mask)
+        np.testing.assert_array_equal(predictions[exit_mask],
+                                      decision.predictions[exit_mask])
+        assert trunk.shape == (64, 24)
+
+    def test_gate_does_not_mutate_decision_predictions(self, rng):
+        # predict() overwrites escalated entries on a copy; the
+        # decision's own prediction array must stay the local head's.
+        x, _ = make_digits(32, seed=4)
+        network = self.build(rng, threshold=0.8)
+        decision, _ = network.gate(x)
+        local = decision.predictions.copy()
+        network.predict(x)
+        fresh, _ = network.gate(x)
+        np.testing.assert_array_equal(fresh.predictions, local)
+
+    def test_float32_features_stay_float32_through_gate(self, rng,
+                                                        restore_dtype):
+        set_default_dtype(np.float32)
+        network = self.build(np.random.default_rng(0), threshold=0.5)
+        x = np.random.default_rng(1).normal(size=(8, 64)).astype(np.float32)
+        decision, trunk = network.gate(x)
+        assert trunk.dtype == np.float32
+        assert decision.probabilities.dtype == np.float32
+        assert decision.entropy.dtype == np.float32

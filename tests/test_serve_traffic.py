@@ -1,0 +1,127 @@
+"""Open-loop traffic generator tests: determinism, diurnal shape, bursts,
+slow clients, and spec validation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.serve import OpenLoopTraffic, TenantLoad, TrafficSpec
+
+
+def loads():
+    return [TenantLoad("a", 3.0, route="cascade"),
+            TenantLoad("b", 1.0, model="m")]
+
+
+class TestSpecValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(base_rate=0.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(period_s=0.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(burst_rate=-1.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(slow_upload_s=-0.1)
+
+    def test_tenant_load_needs_exactly_one_target(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            TenantLoad("x")
+        with pytest.raises(ValueError, match="exactly one"):
+            TenantLoad("x", route="r", model="m")
+        with pytest.raises(ValueError):
+            TenantLoad("x", weight=0.0, model="m")
+
+    def test_traffic_needs_loads(self):
+        with pytest.raises(ValueError, match="TenantLoad"):
+            OpenLoopTraffic(TrafficSpec(), [])
+
+
+class TestArrivalSchedule:
+    def test_same_seed_is_bit_identical(self):
+        spec = TrafficSpec(base_rate=100.0, diurnal_amplitude=0.4,
+                           period_s=10.0, burst_rate=0.5, burst_size=5,
+                           slow_upload_s=0.01)
+
+        def generate():
+            injector = FaultInjector(FaultSpec(straggler_rate=0.2), seed=5)
+            return OpenLoopTraffic(spec, loads(), seed=9,
+                                   injector=injector).arrivals(20.0)
+
+        first, second = generate(), generate()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert (a.time, a.tenant, a.route, a.model, a.client,
+                    a.upload_delay_s) \
+                == (b.time, b.tenant, b.route, b.model, b.client,
+                    b.upload_delay_s)
+
+    def test_different_seed_differs(self):
+        spec = TrafficSpec(base_rate=100.0)
+        one = OpenLoopTraffic(spec, loads(), seed=1).arrivals(5.0)
+        two = OpenLoopTraffic(spec, loads(), seed=2).arrivals(5.0)
+        assert [a.time for a in one] != [a.time for a in two]
+
+    def test_sorted_and_in_window(self):
+        spec = TrafficSpec(base_rate=200.0, burst_rate=1.0, burst_size=4)
+        arrivals = OpenLoopTraffic(spec, loads(), seed=3).arrivals(10.0)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t for t in times)
+        # No slow clients: arrival times stay inside the window.
+        assert max(times) < 10.0
+
+    def test_rate_matches_mean(self):
+        spec = TrafficSpec(base_rate=300.0)
+        arrivals = OpenLoopTraffic(spec, loads(), seed=4).arrivals(20.0)
+        assert len(arrivals) == pytest.approx(6000, rel=0.1)
+
+    def test_diurnal_peak_denser_than_trough(self):
+        # Period 20 s: rate peaks in (0, 10) and bottoms in (10, 20).
+        spec = TrafficSpec(base_rate=200.0, diurnal_amplitude=0.8,
+                           period_s=20.0)
+        traffic = OpenLoopTraffic(spec, loads(), seed=6)
+        assert traffic.rate(5.0) > traffic.rate(15.0)
+        arrivals = traffic.arrivals(20.0)
+        peak = sum(1 for a in arrivals if a.time < 10.0)
+        trough = len(arrivals) - peak
+        assert peak > 2 * trough
+
+    def test_bursts_inject_simultaneous_arrivals(self):
+        spec = TrafficSpec(base_rate=5.0, burst_rate=0.5, burst_size=8)
+        arrivals = OpenLoopTraffic(spec, loads(), seed=7).arrivals(20.0)
+        counts = {}
+        for a in arrivals:
+            counts[a.time] = counts.get(a.time, 0) + 1
+        assert max(counts.values()) >= 8
+
+    def test_tenant_weights_respected(self):
+        spec = TrafficSpec(base_rate=500.0)
+        arrivals = OpenLoopTraffic(spec, loads(), seed=8).arrivals(10.0)
+        share_a = sum(1 for a in arrivals if a.tenant == "a") / len(arrivals)
+        assert share_a == pytest.approx(0.75, abs=0.05)
+        assert all((a.route == "cascade") == (a.tenant == "a")
+                   for a in arrivals)
+
+    def test_slow_clients_shift_submit_times(self):
+        spec = TrafficSpec(base_rate=100.0, slow_upload_s=0.05)
+        # Without an injector every upload takes the nominal time.
+        plain = OpenLoopTraffic(spec, loads(), seed=10).arrivals(5.0)
+        assert all(a.upload_delay_s == pytest.approx(0.05) for a in plain)
+        # With an always-straggling injector, every delay is scaled up.
+        injector = FaultInjector(FaultSpec(straggler_rate=1.0,
+                                           straggler_scale=4.0), seed=11)
+        slowed = OpenLoopTraffic(spec, loads(), seed=10,
+                                 injector=injector).arrivals(5.0)
+        assert all(a.upload_delay_s > 0.05 for a in slowed)
+        # A mixed-rate injector slows only its chosen clients.
+        mixed = OpenLoopTraffic(
+            spec, loads(), seed=10,
+            injector=FaultInjector(FaultSpec(straggler_rate=0.3), seed=12)
+        ).arrivals(5.0)
+        slow = [a for a in mixed if a.upload_delay_s > 0.05]
+        on_time = [a for a in mixed if a.upload_delay_s
+                   == pytest.approx(0.05)]
+        assert slow and on_time
