@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit determinism-check bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit determinism-check bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -73,6 +73,15 @@ train-check:
 # apply verified arena slot coloring.  Exits non-zero on any violation.
 plan-audit:
 	python -m repro.analysis.plans audit --dtype float32 --dtype float64
+
+# Determinism gate: the det-* lint rules over the library, the keyed-RNG
+# stream-collision proof (registry cross-checked against the AST), and
+# the dual-replay certificates — every scenario runs twice under
+# perturbed clock/global-RNG/execution-order environments and must
+# fingerprint identically; any divergence is bisected to its first
+# event.  Exits non-zero on any violation.
+determinism-check:
+	python -m repro.analysis.determinism audit
 
 bench-smoke:
 	python -m pytest benchmarks/test_perf_microbench.py -q

@@ -29,7 +29,14 @@ supplies the tooling that proves graph and numeric hygiene the way
   :class:`~repro.analysis.privacy.PrivacyCertificate` claims from the DP
   trainers, and an independent budget auditor
   (``python -m repro.analysis.privacy audit``) that recomputes epsilon
-  from scratch and cross-checks the accountant ledger.
+  from scratch and cross-checks the accountant ledger;
+* :mod:`repro.analysis.determinism` — the determinism & RNG-provenance
+  auditor (``python -m repro.analysis.determinism audit``): a static
+  provenance pass over every generator construction site, a
+  stream-collision proof for the keyed-RNG families in
+  :mod:`repro.rng`, and a dual-replay harness that runs federated /
+  DP-SGD / serving scenarios twice under perturbed environments and
+  bisects any divergence to its first event.
 """
 
 from .graph import (
@@ -62,10 +69,22 @@ _PRIVACY_EXPORTS = frozenset({
 })
 
 
+# Same treatment for the determinism auditor: its dynamic layer pulls in
+# the federated/privacy/serving stacks, which the base analysis import
+# must not pay for.
+_DETERMINISM_EXPORTS = frozenset({
+    "DivergenceReport", "EventLog", "Perturbation", "StreamFamily",
+    "dual_replay", "first_divergence",
+})
+
+
 def __getattr__(name):
     if name in _PRIVACY_EXPORTS:
         from . import privacy
         return getattr(privacy, name)
+    if name in _DETERMINISM_EXPORTS:
+        from . import determinism
+        return getattr(determinism, name)
     raise AttributeError(
         "module {!r} has no attribute {!r}".format(__name__, name))
 

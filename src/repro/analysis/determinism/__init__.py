@@ -1,0 +1,46 @@
+"""Determinism & RNG-provenance auditor with replay-divergence bisection.
+
+Three layers (see :mod:`.audit`):
+
+* :mod:`.provenance` — static AST pass assigning every RNG construction
+  site an origin (derived / keyed / spawned / scalar / unseeded /
+  global);
+* :mod:`.rules` — the ``det-*`` lint rules, run on library code by
+  :mod:`repro.analysis.lint`;
+* :mod:`.streams` — the keyed-stream family registry, a pairwise
+  collision proof, and an AST cross-check that keeps the registry
+  honest;
+* :mod:`.replay` — the dual-replay harness: run a scenario twice under
+  perturbed clock / global-RNG / execution-order environments,
+  fingerprint per-subsystem events, and binary-search the first
+  divergent event;
+* :mod:`.scenarios` — the certified scenarios (federated chaos round,
+  DP-SGD run, fleet soak) and the injectable nondeterminism mutants.
+
+Run the audit::
+
+    python -m repro.analysis.determinism audit
+"""
+
+from .audit import Violation, audit_all, injected_divergence, main
+from .replay import (DivergenceReport, EventLog, Perturbation, dual_replay,
+                     first_divergence, fingerprint)
+from .streams import REGISTRY, StreamFamily, check_collisions, \
+    verify_registry_against_source
+
+__all__ = [
+    "DivergenceReport",
+    "EventLog",
+    "Perturbation",
+    "REGISTRY",
+    "StreamFamily",
+    "Violation",
+    "audit_all",
+    "check_collisions",
+    "dual_replay",
+    "fingerprint",
+    "first_divergence",
+    "injected_divergence",
+    "main",
+    "verify_registry_against_source",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.analysis.determinism audit``."""
+
+import sys
+
+from .audit import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""The three-layer determinism audit and its replay certificate.
+
+Layers, cheapest first:
+
+1. **static** — the determinism lint rules (:mod:`.rules`) over the
+   library source, plus the RNG-provenance census (:mod:`.provenance`):
+   no unseeded generators, no wall-clock reads in simulated-clock
+   scopes, no handed-off shared streams, no unordered-set iteration.
+2. **streams** — the keyed-stream registry (:mod:`.streams`) is checked
+   for pairwise collisions and cross-checked against the AST, proving
+   no two subsystems can ever derive the same entropy tuple.
+3. **dynamic** — every scenario in :data:`.scenarios.SCENARIOS` runs
+   twice under perturbed environments (:mod:`.replay`); a clean run
+   fingerprints identically, and any divergence is bisected to its
+   first event.
+
+``audit_all`` returns ``(violations, certificate)``; the certificate
+records, per scenario, the event count and final chained digest of the
+certified replay — the machine-checkable claim "this scenario is
+replay-deterministic under clock, global-RNG, and execution-order
+perturbation".
+
+CLI (mirrors the plan auditor)::
+
+    python -m repro.analysis.determinism audit [--skip LAYER ...]
+    python -m repro.analysis.determinism audit --inject shared-stream
+
+``--inject`` plants one nondeterminism mutant and exits 1 when the
+dual-replay bisector pins it down (printing the first divergent event),
+2 if it slips through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import provenance, streams
+from .replay import dual_replay
+from .scenarios import MUTANTS, SCENARIOS, federated_chaos_round
+
+__all__ = ["Violation", "audit_all", "injected_divergence", "main"]
+
+_LAYERS = ("static", "streams", "dynamic")
+
+
+class Violation:
+    """One audit finding: which layer, which check, what went wrong."""
+
+    __slots__ = ("layer", "kind", "message")
+
+    def __init__(self, layer, kind, message):
+        self.layer = layer
+        self.kind = kind
+        self.message = message
+
+    def __str__(self):
+        return "[{}:{}] {}".format(self.layer, self.kind, self.message)
+
+    def __repr__(self):
+        return "Violation({!r}, {!r})".format(self.layer, self.kind)
+
+
+def _static_violations(root=None):
+    """Layer 1: determinism lint over the library + provenance census."""
+    from ..lint import lint_file
+
+    root = Path(root) if root is not None else provenance.library_root()
+    found = []
+    for file in sorted(root.rglob("*.py")):
+        for violation in lint_file(file):
+            if violation.rule.startswith("det-"):
+                found.append(Violation("static", violation.rule,
+                                       str(violation)))
+    sites = provenance.collect(root)
+    allows_cache = {}
+    for site in sites:
+        if site.origin != "global":
+            continue
+        # Respect the linter's inline waivers: a deliberately perturbed
+        # global stream (the dual-replay harness) documents itself.
+        if site.path not in allows_cache:
+            from ..lint import _inline_allows
+
+            lines = Path(site.path).read_text(encoding="utf-8").splitlines()
+            allows_cache[site.path] = _inline_allows(lines)
+        if "np-random" in allows_cache[site.path].get(site.line, ()):
+            continue
+        found.append(Violation(
+            "static", "global-rng",
+            "{}:{}: {} draws from the module-global stream".format(
+                site.path, site.line, site.detail)))
+    return found, provenance.summarize(sites)
+
+
+def _stream_violations(root=None):
+    """Layer 2: collision proof + registry/source cross-check."""
+    found = [Violation("streams", "collision", message)
+             for message in streams.check_collisions()]
+    found.extend(
+        Violation("streams", "registry", message)
+        for message in streams.verify_registry_against_source(root))
+    return found
+
+
+def _dynamic_violations(names=None):
+    """Layer 3: dual replay of every scenario; bisected divergences."""
+    found = []
+    certified = {}
+    for name in (names or sorted(SCENARIOS)):
+        scenario = SCENARIOS[name]()
+        logs, report = dual_replay(scenario)
+        if report is None:
+            certified[name] = {
+                "events": len(logs[0]),
+                "final_digest": "{:#010x}".format(logs[0].final_digest),
+            }
+        else:
+            found.append(Violation(
+                "dynamic", "replay-divergence",
+                "scenario {!r}: {}".format(name, report.describe())))
+    return found, certified
+
+
+def audit_all(root=None, skip=(), scenarios=None, emit=None):
+    """Run every layer; returns ``(violations, certificate)``."""
+    emit = emit or (lambda *_: None)
+    violations = []
+    certificate = {"layers": [layer for layer in _LAYERS
+                              if layer not in skip]}
+    if "static" not in skip:
+        found, census = _static_violations(root)
+        violations.extend(found)
+        certificate["provenance"] = census
+        emit("static: {} finding(s); provenance census {}".format(
+            len(found), census))
+    if "streams" not in skip:
+        found = _stream_violations(root)
+        violations.extend(found)
+        certificate["stream_families"] = len(streams.REGISTRY)
+        emit("streams: {} families, {} finding(s)".format(
+            len(streams.REGISTRY), len(found)))
+    if "dynamic" not in skip:
+        found, certified = _dynamic_violations(scenarios)
+        violations.extend(found)
+        certificate["certified"] = certified
+        for name, entry in certified.items():
+            emit("dynamic: {} replay-deterministic over {} events "
+                 "(digest {})".format(name, entry["events"],
+                                      entry["final_digest"]))
+        for violation in found:
+            emit("dynamic: {}".format(violation))
+    return violations, certificate
+
+
+def injected_divergence(kind):
+    """Run the federated scenario with one mutant; returns the report."""
+    if kind not in MUTANTS:
+        raise ValueError("unknown mutant {!r}".format(kind))
+    _, report = dual_replay(federated_chaos_round(mutant=kind))
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.determinism",
+        description="Audit the library's replay-determinism story.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    audit = sub.add_parser("audit", help="run the full determinism audit")
+    audit.add_argument("--skip", action="append", choices=_LAYERS,
+                       default=[], help="skip a layer (repeatable)")
+    audit.add_argument("--scenario", action="append",
+                       choices=sorted(SCENARIOS), default=None,
+                       help="dynamic scenario (repeatable; default all)")
+    audit.add_argument("--json", metavar="PATH", default=None,
+                       help="write the replay certificate as JSON")
+    audit.add_argument("--inject", choices=MUTANTS,
+                       help="plant one nondeterminism mutant; exits 1 "
+                       "when the bisector pins it down, 2 if it slips "
+                       "through")
+    args = parser.parse_args(argv)
+
+    if args.inject:
+        report = injected_divergence(args.inject)
+        if report is None:
+            print("FAIL: injected {} mutant was not detected".format(
+                args.inject))
+            return 2
+        print("injected {} mutant detected:".format(args.inject))
+        print(report.describe())
+        return 1
+
+    violations, certificate = audit_all(
+        skip=tuple(args.skip), scenarios=args.scenario, emit=print)
+    if args.json:
+        Path(args.json).write_text(json.dumps(certificate, indent=2,
+                                              sort_keys=True))
+    if violations:
+        print("{} determinism violation(s):".format(len(violations)))
+        for violation in violations:
+            print("  {}".format(violation))
+        return 1
+    print("determinism audit clean: {} layer(s), {} scenario(s) "
+          "certified".format(len(certificate["layers"]),
+                             len(certificate.get("certified", {}))))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

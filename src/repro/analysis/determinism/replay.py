@@ -1,0 +1,249 @@
+"""Dynamic dual-replay harness with first-divergence bisection.
+
+Running a scenario twice in one process and comparing outputs proves
+very little: both runs see the same global RNG state, the same wall
+clock (if nothing reads it), and the same container insertion orders,
+so whole classes of nondeterminism cancel out.  This harness runs the
+scenario twice under **perturbed environments** — run 1 differs from
+run 0 along exactly the axes a deterministic program must be invariant
+to:
+
+* **wall clock** — ``time.time``/``monotonic``/``perf_counter`` are
+  patched to a deterministic counter whose base and step depend on the
+  run index.  Code that leaks real time into simulated state produces
+  different fingerprints per run.
+* **global RNG** — ``np.random`` legacy state is reseeded differently
+  per run.  Code drawing from the global stream (instead of an owned
+  generator) diverges.
+* **execution order** — :meth:`Perturbation.order` hands the scenario
+  a run-dependent ordering for logically independent units (run 1
+  reverses).  Scenarios execute units in the perturbed order but
+  record and aggregate in canonical order, so a divergence means real
+  order-dependence: shared streams, unordered float accumulation, or
+  insertion-order leakage.
+
+Each run appends fingerprint **events** to an :class:`EventLog`; every
+event chains into a running prefix digest, so "first index where the
+prefix digests differ" is a monotone predicate and
+:func:`first_divergence` can binary-search it.  The resulting
+:class:`DivergenceReport` names the event, both digests, and the
+provenance chain (which streams/clocks feed that event) the scenario
+attached when recording.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["EventLog", "Event", "Perturbation", "DivergenceReport",
+           "dual_replay", "first_divergence", "fingerprint"]
+
+
+def _encode(value):
+    """Canonical byte encoding for fingerprinting (order-sensitive)."""
+    if isinstance(value, np.ndarray):
+        return (b"A" + str(value.dtype).encode() + repr(value.shape).encode()
+                + np.ascontiguousarray(value).tobytes())
+    if isinstance(value, dict):
+        parts = [b"D"]
+        for key in sorted(value, key=repr):
+            parts.append(_encode(key))
+            parts.append(_encode(value[key]))
+        return b"".join(parts)
+    if isinstance(value, (list, tuple)):
+        return b"L" + b"".join(_encode(item) for item in value)
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, np.floating):
+        return b"F" + repr(float(value)).encode()
+    if isinstance(value, np.integer):
+        return b"I" + repr(int(value)).encode()
+    return repr(value).encode()
+
+
+def fingerprint(*values):
+    """A 32-bit order-sensitive digest of the given values."""
+    return zlib.adler32(b"\x1f".join(_encode(v) for v in values))
+
+
+class Event:
+    """One fingerprinted point in a scenario's timeline."""
+
+    __slots__ = ("index", "subsystem", "label", "digest", "provenance")
+
+    def __init__(self, index, subsystem, label, digest, provenance):
+        self.index = index
+        self.subsystem = subsystem
+        self.label = label
+        self.digest = digest
+        self.provenance = provenance
+
+    def __repr__(self):
+        return "Event(#{} {} {} {:#010x})".format(
+            self.index, self.subsystem, self.label, self.digest)
+
+
+class EventLog:
+    """Append-only fingerprint log with chained prefix digests."""
+
+    def __init__(self):
+        self.events = []
+        self._prefix = []
+
+    def record(self, subsystem, label, *values, provenance=()):
+        """Fingerprint ``values`` as the next event; returns the digest."""
+        digest = fingerprint(*values)
+        previous = self._prefix[-1] if self._prefix else 0
+        self._prefix.append(
+            zlib.adler32(repr((previous, digest)).encode()))
+        self.events.append(Event(len(self.events), subsystem, label,
+                                 digest, tuple(provenance)))
+        return digest
+
+    def prefix_digest(self, index):
+        """Digest of events[0..index] (chained)."""
+        return self._prefix[index]
+
+    def __len__(self):
+        return len(self.events)
+
+    @property
+    def final_digest(self):
+        return self._prefix[-1] if self._prefix else 0
+
+
+class Perturbation:
+    """The environment axes a deterministic scenario must shrug off."""
+
+    def __init__(self, run_index):
+        self.run = int(run_index)
+
+    def order(self, items):
+        """A run-dependent ordering for logically independent units."""
+        items = list(items)
+        return items if self.run == 0 else items[::-1]
+
+    @contextmanager
+    def applied(self):
+        """Patch wall clocks and the legacy global RNG, run-dependently."""
+        state = {"t": 1.75e9 + 131.0 * self.run}
+        step = 1e-3 * (1.0 + 0.5 * self.run)
+
+        def wall_clock():
+            state["t"] += step
+            return state["t"]
+
+        saved = (time.time, time.monotonic, time.perf_counter)
+        # Reseeding the module-global stream is the perturbation: any
+        # library draw from it now differs between the two runs.
+        np.random.seed(1009 + self.run)  # repro-lint: allow[np-random] the dual-replay harness perturbs the global stream on purpose
+        time.time = wall_clock
+        time.monotonic = wall_clock
+        time.perf_counter = wall_clock
+        try:
+            yield self
+        finally:
+            time.time, time.monotonic, time.perf_counter = saved
+
+
+class DivergenceReport:
+    """The first event where two perturbed runs disagree."""
+
+    __slots__ = ("index", "event_a", "event_b", "total_a", "total_b")
+
+    def __init__(self, index, event_a, event_b, total_a, total_b):
+        self.index = index
+        self.event_a = event_a  # may be None on a length mismatch
+        self.event_b = event_b
+        self.total_a = total_a
+        self.total_b = total_b
+
+    @property
+    def subsystem(self):
+        event = self.event_a or self.event_b
+        return event.subsystem if event is not None else "<missing>"
+
+    @property
+    def provenance(self):
+        event = self.event_a or self.event_b
+        return event.provenance if event is not None else ()
+
+    def describe(self):
+        if self.event_a is None or self.event_b is None:
+            lines = ["runs produced different event counts ({} vs {}); "
+                     "first unmatched event is #{}".format(
+                         self.total_a, self.total_b, self.index)]
+            event = self.event_a or self.event_b
+            if event is not None:
+                lines.append("  {} / {}".format(event.subsystem,
+                                                event.label))
+        else:
+            lines = [
+                "first divergent event #{} of {}: {} / {}".format(
+                    self.index, max(self.total_a, self.total_b),
+                    self.event_a.subsystem, self.event_a.label),
+                "  run0 digest {:#010x}  run1 digest {:#010x}".format(
+                    self.event_a.digest, self.event_b.digest),
+            ]
+        if self.provenance:
+            lines.append("  provenance: " + " -> ".join(self.provenance))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "DivergenceReport(index={}, subsystem={!r})".format(
+            self.index, self.subsystem)
+
+
+def first_divergence(log_a, log_b):
+    """Binary-search the first event index where the logs disagree.
+
+    Returns a :class:`DivergenceReport`, or None when the logs match
+    event-for-event.  The chained prefix digest makes "prefixes differ
+    at index i" monotone in ``i``, so the search is O(log n) digest
+    comparisons — the point of the bisection is that scenarios may log
+    thousands of events and the report must still name exactly one.
+    """
+    common = min(len(log_a), len(log_b))
+    if common and log_a.prefix_digest(common - 1) \
+            == log_b.prefix_digest(common - 1):
+        if len(log_a) == len(log_b):
+            return None
+        # Identical common prefix, one run kept going.
+        index = common
+        event_a = log_a.events[index] if index < len(log_a) else None
+        event_b = log_b.events[index] if index < len(log_b) else None
+        return DivergenceReport(index, event_a, event_b,
+                                len(log_a), len(log_b))
+    if common == 0:
+        if len(log_a) == len(log_b):
+            return None
+        return DivergenceReport(0,
+                                log_a.events[0] if len(log_a) else None,
+                                log_b.events[0] if len(log_b) else None,
+                                len(log_a), len(log_b))
+    lo, hi = 0, common - 1  # invariant: prefix digests differ at hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if log_a.prefix_digest(mid) == log_b.prefix_digest(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return DivergenceReport(lo, log_a.events[lo], log_b.events[lo],
+                            len(log_a), len(log_b))
+
+
+def dual_replay(scenario):
+    """Run ``scenario(log, perturbation)`` twice under perturbed
+    environments; returns ``(logs, report-or-None)``."""
+    logs = []
+    for run in (0, 1):
+        log = EventLog()
+        perturbation = Perturbation(run)
+        with perturbation.applied():
+            scenario(log, perturbation)
+        logs.append(log)
+    return logs, first_divergence(logs[0], logs[1])

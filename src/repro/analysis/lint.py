@@ -53,6 +53,12 @@ run the five differential-privacy rules from
 ``dp-shared-rng``, ``dp-noise-scale``, ``dp-unaccounted-release``,
 ``dp-epsilon-no-delta``).
 
+Library files (any path containing ``repro/``) additionally run the
+four determinism rules from :mod:`repro.analysis.determinism.rules`
+(``det-unseeded-rng``, ``det-shared-stream``, ``det-wall-clock``,
+``det-unordered-iter``) — the static layer of
+``python -m repro.analysis.determinism audit``.
+
 Suppression: end the offending line with ``# repro-lint: allow[rule]
 <reason>``.  Per-path allowlists for whole directories live in
 ``PATH_ALLOW`` below.
@@ -72,7 +78,9 @@ RULES = ("np-random", "dtype-literal", "param-data", "hot-loop",
          "alloc-in-loop",
          "shm-write-protocol", "fork-after-thread", "unjoined-worker",
          "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
-         "dp-unaccounted-release", "dp-epsilon-no-delta")
+         "dp-unaccounted-release", "dp-epsilon-no-delta",
+         "det-unseeded-rng", "det-shared-stream", "det-wall-clock",
+         "det-unordered-iter")
 
 # np.random members that are fine: the Generator API and seeding plumbing.
 NP_RANDOM_ALLOWED = {
@@ -458,6 +466,11 @@ def lint_file(path, text=None):
         # package, which the base linter must not pay for on every file.
         from .privacy.rules import dp_lint
         found.extend(dp_lint(str(path), tree))
+    if "repro/" in posix:
+        # The determinism rules apply to library code only (tests and
+        # benchmarks legitimately use scalar seeds and real clocks).
+        from .determinism.rules import det_lint
+        found.extend(det_lint(str(path), tree, text))
     kept = []
     for violation in found:
         if _path_allowed(violation.rule, posix):

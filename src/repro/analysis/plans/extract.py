@@ -239,9 +239,9 @@ def _run_poisoned(arena, records, pristine, seed, unlock):
     per_step = []
     with unlock(), np.errstate(all="ignore"):
         for record in records:
-            pre = {i: current[i] for i in record.refs}
+            pre = {i: current[i] for i in sorted(record.refs)}
             record.thunk()
-            post = {i: _checksum(buffers[i]) for i in record.refs}
+            post = {i: _checksum(buffers[i]) for i in sorted(record.refs)}
             written = frozenset(i for i in record.refs if post[i] != pre[i])
             current.update(post)
             per_step.append((post, written))

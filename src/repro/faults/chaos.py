@@ -9,8 +9,7 @@ chaos should stress the robustness policies, not make progress impossible.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..rng import derive_rng
 from .injector import FaultInjector, FaultSpec
 
 __all__ = ["random_fault_spec", "chaos_injector", "summarize_history"]
@@ -20,8 +19,9 @@ def random_fault_spec(seed, max_dropout=0.4, max_straggler=0.4,
                       max_upload_loss=0.3, max_corruption=0.25,
                       max_stale=0.25):
     """One random :class:`FaultSpec`, fully determined by ``seed``."""
-    # Namespaced away from the injector's own (seed, tag, ...) keys.
-    rng = np.random.default_rng((0x0C4A05, int(seed)))
+    # Namespaced away from the injector's own (seed, tag, ...) keys and
+    # from every other keyed family (see repro.rng.NAMESPACES).
+    rng = derive_rng(seed, "chaos-spec")
     windowed = rng.random() < 0.5
     period = float(rng.uniform(20.0, 90.0)) if windowed else 0.0
     return FaultSpec(

@@ -7,6 +7,7 @@ import numpy as np
 from ..data import DataLoader
 from ..nn import losses
 from ..optim import SGD
+from ..rng import derive_rng
 from ..tensor import Tensor
 
 __all__ = ["FederatedClient"]
@@ -33,7 +34,7 @@ class FederatedClient:
         self.dataset = dataset
         self.model_fn = model_fn
         self.loss_fn = loss_fn or losses.cross_entropy
-        self.rng = np.random.default_rng((seed, client_id))
+        self.rng = derive_rng(seed, "fed-client", client_id)
         # Compiled local-epoch fast path (``local_train(use_plan=True)``):
         # one model + TrainPlan pair per momentum value, reused across
         # rounds so the trace survives between server rounds.

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..privacy import flow
+from ..rng import ID_BOUND
 from ..tensor import as_float_array
 
 __all__ = ["SecureAggregator"]
@@ -32,6 +33,16 @@ class SecureAggregator:
             raise ValueError("client ids must be unique")
         if len(client_ids) < 2:
             raise ValueError("secure aggregation needs at least two clients")
+        # The pair-mask key is the legacy tuple (seed, low, high).  Ids
+        # bounded below ID_BOUND can never alias a repro.rng namespace
+        # constant, which is what keeps this family provably disjoint
+        # from every derived stream (see analysis.determinism.streams).
+        for cid in client_ids:
+            if not 0 <= int(cid) < ID_BOUND:
+                raise ValueError(
+                    "client ids must lie in [0, {}) so pair-mask keys "
+                    "stay clear of the RNG namespace constants; got "
+                    "{!r}".format(ID_BOUND, cid))
         self.client_ids = list(client_ids)
         self.mask_scale = mask_scale
         self.seed = seed

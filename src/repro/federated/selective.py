@@ -16,6 +16,7 @@ import numpy as np
 from ..data import DataLoader
 from ..nn import losses
 from ..optim import SGD
+from ..rng import derive_rng
 from ..tensor import Tensor, no_grad
 from .comm import CommunicationLedger, sparse_update_bytes
 from .algorithms import FederatedHistory, RobustnessPolicy, RoundRecord
@@ -75,7 +76,7 @@ class SelectiveSGDParticipant:
         self.model = model_fn()
         self.lr = lr
         self.loss_fn = loss_fn or losses.cross_entropy
-        self.rng = np.random.default_rng((seed, participant_id))
+        self.rng = derive_rng(seed, "selective-participant", participant_id)
 
     def refresh(self, indices, values):
         """Overwrite selected local parameters with downloaded globals."""

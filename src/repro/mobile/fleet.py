@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..rng import derive_rng
+
 __all__ = ["DeviceState", "FleetDevice", "FleetSimulator"]
 
 
@@ -78,7 +80,7 @@ class FleetSimulator:
                 device_id=i,
                 night_owl=float(rng.uniform(-0.5, 1.0)),
                 wifi_at_home=float(np.clip(rng.normal(0.9, 0.08), 0.4, 1.0)),
-                rng=np.random.default_rng((seed, i)),
+                rng=derive_rng(seed, "mobile-device", i),
             )
             for i in range(num_devices)
         ]

@@ -28,6 +28,7 @@ from .mechanisms import clip_by_l2
 from ..federated.algorithms import FederatedHistory, RoundRecord
 from ..federated.comm import state_bytes
 from ..federated.server import ParameterServer
+from ..rng import derive_key
 
 __all__ = ["DPFedAvg"]
 
@@ -69,7 +70,8 @@ class DPFedAvg:
         # from ``seed``): the accountant's amplification-by-sampling
         # analysis treats them as independent sources of randomness, and
         # the ``dp-shared-rng`` lint rule flags a shared generator.
-        sample_seq, noise_seq = np.random.SeedSequence(seed).spawn(2)
+        sample_seq, noise_seq = np.random.SeedSequence(
+            derive_key(seed, "dpfedavg")).spawn(2)
         self.rng = np.random.default_rng(sample_seq)
         self.noise_rng = np.random.default_rng(noise_seq)
         self.accountant = MomentsAccountant()

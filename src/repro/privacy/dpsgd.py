@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import losses
+from ..rng import derive_key
 from ..tensor import Tensor, no_grad
 from . import flow
 from .accountant import MomentsAccountant
@@ -58,7 +59,11 @@ class DPSGDTrainer:
         self.noise_multiplier = noise_multiplier
         self.lot_size = lot_size
         self.loss_fn = loss_fn or losses.cross_entropy
-        sample_seq, noise_seq = np.random.SeedSequence(seed).spawn(2)
+        # The spawn root is namespaced: a bare SeedSequence(seed) would
+        # hand DPSGDTrainer(seed=s) and DPFedAvg(seed=s) *identical*
+        # children (spawn keys (0,) and (1,) from the same entropy).
+        sample_seq, noise_seq = np.random.SeedSequence(
+            derive_key(seed, "dpsgd")).spawn(2)
         self.rng = np.random.default_rng(sample_seq)
         self.noise_rng = np.random.default_rng(noise_seq)
         self.accountant = MomentsAccountant()

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import derive_key
+
 __all__ = ["PATE", "noisy_max_vote"]
 
 
@@ -57,10 +59,11 @@ class PATE:
         # noisy-max guarantee assumes noise independent of everything
         # else, and the dp-shared-rng lint rule flags a shared generator.
         # The shard stream keeps the plain seed so existing sharding is
-        # unchanged; the noise stream is a spawned child of the same seed.
+        # unchanged; the noise stream spawns from a namespaced root so it
+        # can never coincide with another subsystem's spawned children.
         self.rng = np.random.default_rng(seed)
         self.noise_rng = np.random.default_rng(
-            np.random.SeedSequence(seed).spawn(1)[0])
+            np.random.SeedSequence(derive_key(seed, "pate")).spawn(1)[0])
         self.teachers_ = []
         self.student_ = None
         self.queries_answered = 0

@@ -456,7 +456,7 @@ class FleetServer:
         self.tenants = {}
         self.buckets = {}
         self.stats = {}
-        self.clock = clock if clock is not None else time.monotonic
+        self.clock = clock if clock is not None else time.monotonic  # repro-lint: allow[det-wall-clock] documented real-time default; simulated runs inject SimulatedClock
         self.max_wait_ms = float(max_wait_ms)
         self.service_model = service_model
         for tenant in tenants:
@@ -625,9 +625,13 @@ class FleetServer:
                 "model {!r} was not warmed for this batch signature; "
                 "register an example payload with this shape".format(
                     entry.name))
-        start = time.perf_counter()
+        # Measure through the injected clock: under a SimulatedClock the
+        # measurement is 0.0 (and the service model below supplies the
+        # modeled cost), so wall time never leaks into estimator state
+        # on a simulated timeline — replays stay bit-exact.
+        start = self.clock()
         rows = entry.plan.run(values, copy=False)
-        elapsed = time.perf_counter() - start
+        elapsed = self.clock() - start
         if self.service_model is not None \
                 and hasattr(self.clock, "advance"):
             elapsed = float(self.service_model(entry.name, batch_size))

@@ -264,7 +264,7 @@ class InferenceServer:
         self.collator = collator
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
-        self.clock = clock if clock is not None else time.monotonic
+        self.clock = clock if clock is not None else time.monotonic  # repro-lint: allow[det-wall-clock] documented real-time default; simulated runs inject SimulatedClock
         self._queues = {}  # bucket key -> list of Request
         self.served = 0
         self.batches = 0

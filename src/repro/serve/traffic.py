@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import derive_rng
+
 __all__ = [
     "Arrival",
     "OpenLoopTraffic",
@@ -110,11 +112,20 @@ class OpenLoopTraffic:
     ``injector`` (a :class:`~repro.faults.FaultInjector`) supplies the
     slow-client oracle; without one every upload takes the nominal
     ``slow_upload_s``.
+
+    ``seed`` is required: an open-loop schedule exists to be replayed,
+    and a silent default would share one arrival stream across every
+    benchmark that forgot to pick a seed (the mechanisms convention from
+    :mod:`repro.privacy.mechanisms`, applied to traffic).
     """
 
-    def __init__(self, spec, loads, seed=0, injector=None):
+    def __init__(self, spec, loads, seed=None, injector=None):
         if not loads:
             raise ValueError("at least one TenantLoad is required")
+        if seed is None:
+            raise ValueError(
+                "OpenLoopTraffic needs an explicit seed= so the arrival "
+                "schedule is a replayable artifact, not ambient state")
         self.spec = spec
         self.loads = tuple(loads)
         self.seed = int(seed)
@@ -153,7 +164,7 @@ class OpenLoopTraffic:
         event stream.  Deterministic given (spec, loads, seed).
         """
         spec = self.spec
-        rng = np.random.default_rng((self.seed, 0x70AF))
+        rng = derive_rng(self.seed, "serve-traffic")
         peak = spec.base_rate * (1.0 + spec.diurnal_amplitude)
         times = []
         t = 0.0

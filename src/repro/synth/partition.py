@@ -9,28 +9,34 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import require_rng
+
 __all__ = ["iid_partition", "dirichlet_partition", "shard_partition"]
 
 
-def iid_partition(num_samples, num_clients, rng=None):
-    """Uniformly random equal split; returns a list of index arrays."""
+def iid_partition(num_samples, num_clients, rng=None, seed=None):
+    """Uniformly random equal split; returns a list of index arrays.
+
+    How data lands on clients *is* the federated experiment, so the
+    randomness source must be explicit: pass ``rng=`` or ``seed=``.
+    """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
-    rng = rng or np.random.default_rng(0)
+    rng = require_rng(rng, seed, "iid_partition")
     order = rng.permutation(num_samples)
     return [np.sort(part) for part in np.array_split(order, num_clients)]
 
 
-def dirichlet_partition(labels, num_clients, alpha=0.5, rng=None):
+def dirichlet_partition(labels, num_clients, alpha=0.5, rng=None, seed=None):
     """Label-skewed split: client class proportions ~ Dirichlet(alpha).
 
     Small ``alpha`` produces highly heterogeneous clients; large ``alpha``
-    approaches IID.
+    approaches IID.  Pass ``rng=`` or ``seed=`` explicitly.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
     labels = np.asarray(labels)
-    rng = rng or np.random.default_rng(0)
+    rng = require_rng(rng, seed, "dirichlet_partition")
     clients = [[] for _ in range(num_clients)]
     for value in np.unique(labels):
         members = rng.permutation(np.flatnonzero(labels == value))
@@ -47,15 +53,17 @@ def dirichlet_partition(labels, num_clients, alpha=0.5, rng=None):
     return [np.sort(np.array(c, dtype=int)) for c in clients]
 
 
-def shard_partition(labels, num_clients, shards_per_client=2, rng=None):
+def shard_partition(labels, num_clients, shards_per_client=2, rng=None,
+                    seed=None):
     """McMahan et al.'s pathological non-IID split.
 
     Sort by label, slice into ``num_clients * shards_per_client`` shards,
     and give each client ``shards_per_client`` random shards — so most
-    clients see only a couple of classes.
+    clients see only a couple of classes.  Pass ``rng=`` or ``seed=``
+    explicitly.
     """
     labels = np.asarray(labels)
-    rng = rng or np.random.default_rng(0)
+    rng = require_rng(rng, seed, "shard_partition")
     order = np.argsort(labels, kind="stable")
     num_shards = num_clients * shards_per_client
     shards = np.array_split(order, num_shards)

@@ -136,6 +136,14 @@ class TypingCohort:
         return [profile.user_id for profile in self.profiles]
 
 
+# Per-user stream keying: (seed, BASE + user_id) with one base per
+# family.  The stride bounds the cohort; _user_key() enforces it.
+_USER_STRIDE = 1000
+_PROFILE_BASE = 1000
+_MOOD_BASE = 2000
+_SESSION_BASE = 3000
+
+
 class TypingDynamicsGenerator:
     """Sample users and sessions with controllable separability and mood effects.
 
@@ -161,6 +169,25 @@ class TypingDynamicsGenerator:
         self.noise_level = float(noise_level)
         self._rng = np.random.default_rng(seed)
 
+    def _user_key(self, base, user_id):
+        """Entropy tuple ``(seed, base + user_id)`` for one user stream.
+
+        The three per-user stream families (profile/mood/session) live at
+        offsets 1000/2000/3000 of the same ``(seed, offset + user_id)``
+        keying, so they are mutually disjoint only while ``user_id``
+        stays below the offset stride — enforced here rather than
+        assumed.  Cohorts larger than that need a new keying scheme (and
+        new entries in the determinism stream registry).
+        """
+        user_id = int(user_id)
+        if not 0 <= user_id < _USER_STRIDE:
+            raise ValueError(
+                "user_id must lie in [0, {}): the profile/mood/session "
+                "RNG streams are keyed at offsets {}/{}/{} and would "
+                "collide beyond that".format(
+                    _USER_STRIDE, _PROFILE_BASE, _MOOD_BASE, _SESSION_BASE))
+        return (self.seed, base + user_id)
+
     # ------------------------------------------------------------------
     # Profiles
     # ------------------------------------------------------------------
@@ -173,7 +200,7 @@ class TypingDynamicsGenerator:
         trivially identify users — identification must combine many weak
         cues, as in the real BiAffect cohort.
         """
-        rng = np.random.default_rng((self.seed, 1000 + user_id))
+        rng = np.random.default_rng(self._user_key(_PROFILE_BASE, user_id))
         s = self.user_separability
         duration_mean = float(np.exp(rng.normal(np.log(0.095), 0.03 * s)))
         inter_key_mean = float(np.exp(rng.normal(np.log(0.28), 0.035 * s)))
@@ -222,7 +249,7 @@ class TypingDynamicsGenerator:
         score above 0.5 is labelled as the disturbed class, as in the
         paper's binarized depression-score prediction.
         """
-        rng = np.random.default_rng((self.seed, 2000 + user_id))
+        rng = np.random.default_rng(self._user_key(_MOOD_BASE, user_id))
         poles = (float(rng.uniform(0.10, 0.30)), float(rng.uniform(0.70, 0.90)))
         current = int(rng.random() < 0.5)
         scores = np.empty(num_sessions)
@@ -411,7 +438,8 @@ class TypingDynamicsGenerator:
         profiles = [self.sample_profile(uid) for uid in range(num_users)]
         cohort = TypingCohort(profiles=profiles)
         for profile, count in zip(profiles, counts):
-            rng = np.random.default_rng((self.seed, 3000 + profile.user_id))
+            rng = np.random.default_rng(
+                self._user_key(_SESSION_BASE, profile.user_id))
             moods = self.sample_mood_trajectory(profile.user_id, count)
             cohort.sessions[profile.user_id] = [
                 self.sample_session(profile, moods[i], rng) for i in range(count)

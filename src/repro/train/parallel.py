@@ -29,6 +29,7 @@ import os
 import numpy as np
 
 from .plan import TrainPlan, _grad_dtype
+from ..rng import derive_key
 
 __all__ = ["ParallelTrainer", "PerExampleGradientPool", "shared_slab_layout"]
 
@@ -179,7 +180,8 @@ class ParallelTrainer:
         self.plan.read_flat_params(out=self._params)  # repro-lint: allow[shm-write-protocol] protocol publish-params step
 
         context = multiprocessing.get_context("fork")
-        seed_children = np.random.SeedSequence(seed).spawn(workers)
+        seed_children = np.random.SeedSequence(
+            derive_key(seed, "train-parallel")).spawn(workers)
         for index in range(workers):
             parent_conn, child_conn = context.Pipe()
             proc = context.Process(

@@ -151,6 +151,8 @@ def test_rules_tuple_is_exhaustive():
         "shm-write-protocol", "fork-after-thread", "unjoined-worker",
         "dp-fixed-seed", "dp-shared-rng", "dp-noise-scale",
         "dp-unaccounted-release", "dp-epsilon-no-delta",
+        "det-unseeded-rng", "det-shared-stream", "det-wall-clock",
+        "det-unordered-iter",
     }
 
 
