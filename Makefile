@@ -5,9 +5,9 @@
 
 export PYTHONPATH := src
 
-.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit determinism-check bench-smoke bench
+.PHONY: check test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check fleetsim-check plan-audit determinism-check bench-smoke bench
 
-check: test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check plan-audit determinism-check bench-smoke
+check: test lint sanitize-check chaos-check privacy-audit serve-check fleet-check train-check fleetsim-check plan-audit determinism-check bench-smoke
 
 test:
 	python -m pytest -x -q
@@ -64,6 +64,16 @@ fleet-check:
 train-check:
 	python -m pytest tests/test_train_plan.py tests/test_train_parallel.py -q
 	python -m pytest benchmarks/test_training_bench.py -q
+
+# Fleet-simulation gate: the struct-of-arrays federated fleet — keyed
+# keystream bit-identity against live numpy, batch fault oracles vs the
+# scalar ones, vectorized/scalar round-engine equivalence, two-tier
+# quorum byte conservation, streaming checkpoint kill/resume at 100k,
+# and the fleet benchmark (which regenerates BENCH_fleetsim.json and
+# asserts >= 50x per-client speedup over the object path at 10k).
+fleetsim-check:
+	python -m pytest tests/test_fleet.py -q
+	python -m pytest benchmarks/test_fleetsim_bench.py -q
 
 # Plan IR audit: extract the buffer IR from every registry case's
 # compiled serve and train plans (both float dtypes), prove the

@@ -17,9 +17,10 @@ Four rules, each targeting one way replay determinism quietly dies:
 * ``det-wall-clock`` — a wall-time read (``time.time``,
   ``perf_counter``, ``monotonic``, ``datetime.now``) in a module that
   participates in the simulated-clock story (mentions
-  ``SimulatedClock``): real time leaking into a simulated timeline is
-  the classic replay-divergence source.  Deliberate fallbacks carry
-  inline waivers.
+  ``SimulatedClock``, takes an injectable ``clock``, or lives under a
+  force-scoped directory such as ``repro/federated/fleet/``): real time
+  leaking into a simulated timeline is the classic replay-divergence
+  source.  Deliberate fallbacks carry inline waivers.
 * ``det-unordered-iter`` — iterating a ``set``/``frozenset`` (or
   summing/joining one) feeds nondeterministic order into whatever
   consumes the elements; float accumulation and RNG consumption are
@@ -231,8 +232,17 @@ def _takes_injectable_clock(tree):
     return False
 
 
+# Directories where det-wall-clock applies unconditionally (posix
+# substring match): every fleet-simulator module lives on the simulated
+# timeline whether or not it names SimulatedClock, so a wall-time read
+# there is always a replay hazard.
+_WALL_CLOCK_FORCED_SCOPE = ("repro/federated/fleet/",)
+
+
 def _wall_clock(path, tree):
-    if not (_mentions_simulated_clock(tree)
+    posix = path.replace("\\", "/")
+    forced = any(part in posix for part in _WALL_CLOCK_FORCED_SCOPE)
+    if not (forced or _mentions_simulated_clock(tree)
             or _takes_injectable_clock(tree)):
         return []
     violations = []

@@ -210,6 +210,9 @@ REGISTRY = (
     _derived("chaos-spec", "repro/faults/chaos.py"),
     _derived("serve-traffic", "repro/serve/traffic.py"),
     _derived("mobile-device", "repro/mobile/fleet.py", "device_id"),
+    _derived("fleet-init", "repro/federated/fleet/state.py"),
+    _derived("fleet-sample", "repro/federated/fleet/sampling.py",
+             "round_index"),
     # Spawn roots: SeedSequence(derive_key(seed, ns)).spawn(...).
     _spawn_root("dpsgd", "repro/privacy/dpsgd.py"),
     _spawn_root("dpfedavg", "repro/privacy/dpfedavg.py"),

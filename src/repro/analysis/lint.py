@@ -25,11 +25,13 @@ born from a bug class the hand-written-numpy stack cannot afford:
   loops carry inline waivers.
 * ``alloc-in-loop`` — no allocating numpy calls (``np.zeros``,
   ``np.concatenate``, ``np.stack``, ...) inside ``for``/``while`` loops
-  under ``repro/serve/``: the serving runtime's whole contract is
-  zero allocation per replay, and an alloc in a loop is how that
-  contract quietly erodes.  Compile-time allocation loops (weight
-  pinning, per-view buffer setup) and request-collation loops carry
-  inline waivers.
+  under ``repro/serve/``, ``repro/train/``, or
+  ``repro/federated/fleet/``: the serving runtime's contract is zero
+  allocation per replay, the fleet simulator's is no per-client work in
+  a round, and an alloc in a loop is how those contracts quietly erode.
+  Compile-time allocation loops (weight pinning, per-view buffer setup),
+  request-collation loops, and the fleet's deliberate per-client scalar
+  reference twin carry inline waivers.
 
 Three concurrency rules run only under ``repro/train/`` and
 ``repro/serve/`` (the subsystems that spawn workers and share memory):
@@ -99,9 +101,9 @@ NP_ALLOCATORS = {
 }
 
 # The alloc-in-loop rule is scoped to the serving and compiled-training
-# runtimes (posix substring match): those are where the zero-alloc
-# replay contract lives.
-_ALLOC_SCOPE = ("repro/serve/", "repro/train/")
+# runtimes plus the vectorized fleet simulator (posix substring match):
+# those are where the array-ops-only hot-path contracts live.
+_ALLOC_SCOPE = ("repro/serve/", "repro/train/", "repro/federated/fleet/")
 
 # The concurrency rules are scoped to the same two subsystems — the
 # only places that spawn workers and share process memory.

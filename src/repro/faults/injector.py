@@ -19,6 +19,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .keystream import keyed_uniforms
+
 __all__ = ["FaultSpec", "FaultInjector", "SimulatedClock", "corrupt_state"]
 
 # Stable small integers namespacing the per-decision generators; order is
@@ -116,6 +118,17 @@ class FaultInjector:
     ``(seed, tag, round, client, attempt)``, so answers are independent of
     query order and of one another — the whole schedule is fixed the moment
     the seed is.
+
+    Every oracle also has a vectorized twin (``drops_out_array``,
+    ``straggler_factor_array``, ...) answering for a whole array of
+    clients at once via :mod:`repro.faults.keystream` — the exact same
+    keyed streams evaluated as array ops, bit-identical to the scalar
+    path at every overlapping ``(round, client, attempt)`` coordinate.
+    To keep that identity cheap, the value-bearing oracles transform
+    *uniform* draws from the keyed stream (inverse-CDF exponential for
+    stragglers, scaled-floor for staleness lag) instead of calling
+    distribution methods whose rejection samplers cannot be replayed as
+    array ops.
     """
 
     def __init__(self, spec=None, seed=0):
@@ -143,13 +156,21 @@ class FaultInjector:
                          round_index, client_id, attempt)
 
     def straggler_factor(self, round_index, client_id, attempt=0):
-        """Multiplier on the client's nominal compute time (1.0 = on time)."""
-        if not self._hit("straggler", self.spec.straggler_rate,
-                         round_index, client_id, attempt):
+        """Multiplier on the client's nominal compute time (1.0 = on time).
+
+        Draw 1 of the keyed stream is the hit coin, draw 2 feeds the
+        inverse-CDF exponential — the same two uniforms (and the same
+        float64 arithmetic) the vectorized twin consumes, which is what
+        makes the two paths bit-identical.
+        """
+        rate = self.spec.straggler_rate
+        if rate <= 0.0:
             return 1.0
         rng = self._rng("straggler", round_index, client_id, attempt)
-        rng.random()  # skip the coin already consumed by _hit's generator twin
-        return 1.0 + float(rng.exponential(self.spec.straggler_scale))
+        coin = rng.random()
+        if rate < 1.0 and coin >= rate:
+            return 1.0
+        return 1.0 + self.spec.straggler_scale * float(-np.log1p(-rng.random()))
 
     def upload_lost(self, round_index, client_id, attempt=0):
         """Link drops mid-upload; the bytes are spent but never arrive."""
@@ -162,18 +183,115 @@ class FaultInjector:
                          round_index, client_id, attempt)
 
     def staleness(self, round_index, client_id, attempt=0):
-        """Version lag of the state the client trained against (0 = fresh)."""
-        if not self._hit("stale", self.spec.stale_rate,
-                         round_index, client_id, attempt):
+        """Version lag of the state the client trained against (0 = fresh).
+
+        Uniform on ``1..max_injected_staleness`` via a scaled floor of
+        draw 2 (draw 1 is the hit coin) — see :meth:`straggler_factor`
+        for why the transform is spelled out in uniforms.
+        """
+        rate = self.spec.stale_rate
+        max_lag = self.spec.max_injected_staleness
+        if rate <= 0.0 or max_lag <= 0:
             return 0
         rng = self._rng("stale", round_index, client_id, attempt)
-        rng.random()
-        return int(rng.integers(1, self.spec.max_injected_staleness + 1))
+        coin = rng.random()
+        if rate < 1.0 and coin >= rate:
+            return 0
+        return 1 + min(int(rng.random() * max_lag), max_lag - 1)
 
     def corrupt(self, state, round_index, client_id, attempt=0):
         """Corrupted copy of ``state`` (see :func:`corrupt_state`)."""
         rng = self._rng("corrupt_values", round_index, client_id, attempt)
         return corrupt_state(state, rng)
+
+    # ------------------------------------------------------------------
+    # Vectorized oracle twins: whole-fleet arrays from the same keyed
+    # streams (bit-identical to the scalar methods element by element).
+    # ------------------------------------------------------------------
+    def _keyed_uniforms(self, tag, round_index, client_ids, attempt, ndraws):
+        """First ``ndraws`` uniforms of every client's keyed stream."""
+        return keyed_uniforms(
+            [self.seed, _TAGS[tag], int(round_index),
+             np.asarray(client_ids), int(attempt)],
+            ndraws)
+
+    def _hit_array(self, tag, rate, round_index, client_ids, attempt):
+        ids = np.asarray(client_ids)
+        if rate <= 0.0:
+            return np.zeros(ids.shape, dtype=bool)
+        if rate >= 1.0:
+            return np.ones(ids.shape, dtype=bool)
+        (coin,) = self._keyed_uniforms(tag, round_index, ids, attempt, 1)
+        return coin < rate
+
+    def drops_out_array(self, round_index, client_ids, attempt=0):
+        """Boolean dropout mask over ``client_ids`` (see :meth:`drops_out`)."""
+        return self._hit_array("dropout", self.spec.dropout_rate,
+                               round_index, client_ids, attempt)
+
+    def upload_lost_array(self, round_index, client_ids, attempt=0):
+        """Boolean mid-upload-loss mask (see :meth:`upload_lost`)."""
+        return self._hit_array("upload", self.spec.upload_loss_rate,
+                               round_index, client_ids, attempt)
+
+    def corrupts_array(self, round_index, client_ids, attempt=0):
+        """Boolean corrupted-update mask (see :meth:`corrupts`)."""
+        return self._hit_array("corrupt", self.spec.corruption_rate,
+                               round_index, client_ids, attempt)
+
+    def straggler_factor_array(self, round_index, client_ids, attempt=0):
+        """Compute-time multipliers for every client (1.0 = on time)."""
+        ids = np.asarray(client_ids)
+        rate = self.spec.straggler_rate
+        if rate <= 0.0:
+            return np.ones(ids.shape)
+        coin, value = self._keyed_uniforms("straggler", round_index, ids,
+                                           attempt, 2)
+        factors = 1.0 + self.spec.straggler_scale * -np.log1p(-value)
+        if rate >= 1.0:
+            return factors
+        return np.where(coin < rate, factors, 1.0)
+
+    def staleness_array(self, round_index, client_ids, attempt=0):
+        """Injected version lags for every client (0 = fresh)."""
+        ids = np.asarray(client_ids)
+        rate = self.spec.stale_rate
+        max_lag = self.spec.max_injected_staleness
+        if rate <= 0.0 or max_lag <= 0:
+            return np.zeros(ids.shape, dtype=np.int64)
+        coin, value = self._keyed_uniforms("stale", round_index, ids,
+                                           attempt, 2)
+        lags = 1 + np.minimum((value * max_lag).astype(np.int64),
+                              max_lag - 1)
+        if rate >= 1.0:
+            return lags
+        return np.where(coin < rate, lags, 0)
+
+    def schedule_array(self, num_rounds, client_ids, attempts=1):
+        """The full fault schedule as dense arrays (the batch
+        counterpart of :meth:`schedule`).
+
+        Returns a dict of arrays shaped ``(num_rounds, len(client_ids),
+        attempts)`` keyed exactly like one :meth:`schedule` cell; rounds
+        are 1-based like everywhere else.  Pure oracle readout — calling
+        it changes nothing.
+        """
+        ids = np.asarray(client_ids)
+        names = ("dropout", "straggler_factor", "upload_lost", "corrupt",
+                 "staleness")
+        oracles = (self.drops_out_array, self.straggler_factor_array,
+                   self.upload_lost_array, self.corrupts_array,
+                   self.staleness_array)
+        table = {}
+        for name, oracle in zip(names, oracles):
+            planes = [
+                [oracle(round_index, ids, attempt)
+                 for attempt in range(attempts)]
+                for round_index in range(1, num_rounds + 1)
+            ]
+            table[name] = np.stack([np.stack(row, axis=-1)
+                                    for row in planes])
+        return table
 
     # ------------------------------------------------------------------
     # Link availability windows
@@ -189,6 +307,14 @@ class FaultInjector:
         if period <= 0.0:
             return True
         return (float(at_seconds) % period) >= self.spec.link_down_duration_s
+
+    def link_available_array(self, at_seconds):
+        """Vectorized :meth:`link_available` over an array of times."""
+        times = np.asarray(at_seconds, dtype=float)
+        period = self.spec.link_down_period_s
+        if period <= 0.0:
+            return np.ones(times.shape, dtype=bool)
+        return (times % period) >= self.spec.link_down_duration_s
 
     def schedule(self, num_rounds, client_ids, attempts=1):
         """Materialize the full fault schedule as a nested dict (for tests).

@@ -1,0 +1,237 @@
+"""Vectorized keyed-RNG streams: numpy's seeding pipeline as array ops.
+
+The scalar fault oracles (:class:`repro.faults.FaultInjector`) derive a
+fresh ``np.random.default_rng((seed, tag, round, client, attempt))`` per
+decision.  That is the right *contract* — every decision is a pure
+function of its coordinate — but constructing a ``SeedSequence`` +
+``PCG64`` + ``Generator`` per client costs microseconds each, which caps
+a simulated fleet at tens of thousands of devices.
+
+This module reimplements the exact same derivation pipeline as numpy
+uint32/uint64 **array** arithmetic, so one call produces the first
+``ndraws`` uniforms of *every* client's keyed stream at once:
+
+* ``SeedSequence`` entropy-pool mixing (O'Neill's seed_seq hash with
+  numpy's constants, 4-word pool, zero-padding for short keys);
+* ``generate_state(4, uint64)`` (the little-endian uint32-pair view);
+* ``PCG64`` stream setup (``pcg_setseq_128_srandom``: the 128-bit LCG
+  seeded with two pool-derived 128-bit words) via 32-bit limb
+  multiplication; and
+* the XSL-RR output function plus the ``>> 11`` 53-bit double
+  conversion of ``Generator.random()``.
+
+Bit-identity with ``default_rng(key).random()`` is a tested invariant
+(`tests/test_fleet.py` proves it property-style against live numpy), so
+the batch oracles built on top are replay-compatible with every scalar
+schedule ever recorded under the same seed.
+
+Nothing here is security-relevant; it is a *simulation determinism*
+device.  The implementation follows the published PCG and seed_seq
+algorithms that numpy itself ships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KeyedStream", "keyed_uniforms", "entropy_words"]
+
+# SeedSequence hash constants (numpy/random/bit_generator.pyx).
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+_POOL_WORDS = 4
+
+# PCG64's default 128-bit multiplier, split into uint64 halves.
+_MUL_HI = np.uint64(0x2360ED051FC65DA4)
+_MUL_LO = np.uint64(0x4385DF649FCCF645)
+
+_M32 = np.uint64(0xFFFFFFFF)
+_U32_MASK = 0xFFFFFFFF
+_SHIFT32 = np.uint64(32)
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0  # 2**-53
+
+
+def entropy_words(*components):
+    """Split key components into SeedSequence's uint32 entropy words.
+
+    Scalar ints may be any non-negative size (they split into as many
+    little-endian 32-bit words as they need, exactly like numpy's
+    ``_coerce_to_uint32_array``); array components must fit in one word
+    each (every id/round/attempt coordinate in this repo is ``< 2**32``)
+    so the whole batch shares a single word layout.
+    """
+    words = []
+    for component in components:
+        if isinstance(component, (int, np.integer)):
+            value = int(component)
+            if value < 0:
+                raise ValueError("entropy components must be non-negative")
+            if value == 0:
+                words.append(0)
+                continue
+            while value > 0:
+                words.append(value & _U32_MASK)
+                value >>= 32
+        else:
+            array = np.asarray(component)
+            if array.dtype.kind not in "iu":
+                raise TypeError("array key components must be integers")
+            if array.size and (int(array.min()) < 0
+                               or int(array.max()) > _U32_MASK):
+                raise ValueError(
+                    "array key components must lie in [0, 2**32) so every "
+                    "element shares one entropy-word layout")
+            words.append(array.astype(np.uint32))
+    return words
+
+
+def _hashmix(value, hash_const):
+    """One seed_seq hash step; ``hash_const`` is a 1-slot mutable cell.
+
+    The running constant is tracked as a Python int masked to 32 bits
+    (scalar numpy uint32 multiplies warn on overflow; array ones wrap
+    silently, which is the behaviour we need).
+    """
+    value = value ^ np.uint32(hash_const[0])
+    hash_const[0] = (hash_const[0] * _MULT_A) & _U32_MASK
+    value = (value * np.uint32(hash_const[0])).astype(np.uint32)
+    value ^= value >> _XSHIFT
+    return value
+
+
+def _mix(x, y):
+    result = (x * _MIX_L - y * _MIX_R).astype(np.uint32)
+    result ^= result >> _XSHIFT
+    return result
+
+
+def _mixed_pool(words):
+    """The 4-word entropy pool for every element of the batch.
+
+    Scalar key positions stay 0-d arrays as long as possible: the hash
+    chain over a (seed, tag, round) prefix is computed once, not per
+    client — broadcasting promotes a pool word to full batch shape only
+    at its first contact with a vector word.
+    """
+    sources = [np.asarray(w, dtype=np.uint32).reshape(np.shape(w))
+               for w in words]
+    hash_const = [_INIT_A]
+    zero = np.zeros((), dtype=np.uint32)
+    pool = []
+    for index in range(_POOL_WORDS):
+        source = sources[index] if index < len(sources) else zero
+        pool.append(_hashmix(source, hash_const))
+    for i_src in range(_POOL_WORDS):
+        for i_dst in range(_POOL_WORDS):
+            if i_src != i_dst:
+                pool[i_dst] = _mix(pool[i_dst],
+                                   _hashmix(pool[i_src], hash_const))
+    for i_src in range(_POOL_WORDS, len(sources)):
+        for i_dst in range(_POOL_WORDS):
+            pool[i_dst] = _mix(pool[i_dst],
+                               _hashmix(sources[i_src], hash_const))
+    return pool
+
+
+def _generated_state(pool):
+    """``generate_state(4, uint64)`` — eight hashed uint32 output words."""
+    hash_const = [_INIT_B]
+    out = []
+    for index in range(2 * _POOL_WORDS):
+        value = pool[index % _POOL_WORDS] ^ np.uint32(hash_const[0])
+        hash_const[0] = (hash_const[0] * _MULT_B) & _U32_MASK
+        value = (value * np.uint32(hash_const[0])).astype(np.uint32)
+        value ^= value >> _XSHIFT
+        out.append(value)
+    return out
+
+
+def _u64(lo32, hi32):
+    return lo32.astype(np.uint64) | (hi32.astype(np.uint64) << _SHIFT32)
+
+
+def _mulhi64(a, b):
+    """High 64 bits of a 64x64 product, by 32-bit limbs."""
+    a0 = a & _M32
+    a1 = a >> _SHIFT32
+    b0 = b & _M32
+    b1 = b >> _SHIFT32
+    lo_lo = a0 * b0
+    mid1 = a1 * b0
+    mid2 = a0 * b1
+    carry = ((lo_lo >> _SHIFT32) + (mid1 & _M32) + (mid2 & _M32)) >> _SHIFT32
+    return a1 * b1 + (mid1 >> _SHIFT32) + (mid2 >> _SHIFT32) + carry
+
+
+class KeyedStream:
+    """The PCG64 streams of a whole batch of entropy keys, advanced in step.
+
+    Construction runs the full SeedSequence + PCG64 seeding for every
+    element; each :meth:`next_uniform` call then advances every stream by
+    exactly one draw, matching ``Generator.random()`` bit-for-bit.
+    """
+
+    def __init__(self, components):
+        with np.errstate(over="ignore"):
+            self._init(components)
+
+    def _init(self, components):
+        # Modular wraparound is the algorithm here, not an accident; the
+        # errstate guard covers the 0-d "scalar" ops numpy would warn on.
+        words = entropy_words(*components)
+        shape = np.broadcast_shapes(*[np.shape(w) for w in words])
+        state = _generated_state(_mixed_pool(words))
+        init_hi = _u64(state[0], state[1])
+        init_lo = _u64(state[2], state[3])
+        seq_hi = _u64(state[4], state[5])
+        seq_lo = _u64(state[6], state[7])
+        # pcg_setseq_128_srandom: inc = (initseq << 1) | 1; step;
+        # state += initstate; step.
+        self._inc_hi = (seq_hi << np.uint64(1)) | (seq_lo >> np.uint64(63))
+        self._inc_lo = (seq_lo << np.uint64(1)) | np.uint64(1)
+        # First srandom step from state 0 is just state = inc.
+        lo = np.broadcast_to(self._inc_lo, shape) + init_lo
+        hi = (np.broadcast_to(self._inc_hi, shape) + init_hi
+              + (lo < self._inc_lo).astype(np.uint64))
+        self._state_hi = hi
+        self._state_lo = lo
+        self._step()
+
+    def _step(self):
+        """128-bit LCG advance: state = state * MUL + inc."""
+        hi, lo = self._state_hi, self._state_lo
+        new_hi = hi * _MUL_LO + lo * _MUL_HI + _mulhi64(lo, _MUL_LO)
+        new_lo = lo * _MUL_LO
+        lo2 = new_lo + self._inc_lo
+        self._state_hi = new_hi + self._inc_hi + (lo2 < new_lo).astype(np.uint64)
+        self._state_lo = lo2
+
+    def next_uint64(self):
+        """One XSL-RR output per stream (advances every stream)."""
+        with np.errstate(over="ignore"):
+            self._step()
+            rot = self._state_hi >> np.uint64(58)
+            value = self._state_hi ^ self._state_lo
+            return (value >> rot) | (value << ((np.uint64(64) - rot)
+                                               & np.uint64(63)))
+
+    def next_uniform(self):
+        """One ``Generator.random()`` double in [0, 1) per stream."""
+        return (self.next_uint64() >> np.uint64(11)) * _DOUBLE_SCALE
+
+
+def keyed_uniforms(components, ndraws):
+    """First ``ndraws`` uniforms of every keyed stream, as a list of arrays.
+
+    ``components`` is the entropy key with scalar and/or array positions
+    (arrays broadcast against each other).  Element ``i`` of each
+    returned array equals draw ``k`` of
+    ``np.random.default_rng(tuple_of_element_i).random()``.
+    """
+    stream = KeyedStream(components)
+    return [stream.next_uniform() for _ in range(int(ndraws))]

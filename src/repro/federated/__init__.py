@@ -21,6 +21,12 @@ from .selective import (
     SelectiveSGDParticipant,
 )
 from .secure_agg import SecureAggregator
+from .fleet import (
+    EdgeTopology,
+    FleetFedAvg,
+    FleetSimulator,
+    FleetState,
+)
 
 __all__ = [
     "CommunicationLedger",
@@ -41,4 +47,8 @@ __all__ = [
     "DistributedSelectiveSGD",
     "SelectiveSGDParticipant",
     "SecureAggregator",
+    "EdgeTopology",
+    "FleetFedAvg",
+    "FleetSimulator",
+    "FleetState",
 ]

@@ -8,6 +8,23 @@ the ledger additionally tracks *wasted* bytes — traffic spent on
 attempts that timed out, were lost mid-upload, or were rejected by the
 server — plus retry and abort counters, so the cost of unreliability is
 as visible as the cost of success.
+
+Two recording granularities share one ledger:
+
+* :meth:`CommunicationLedger.record_round` — flat per-round scalars,
+  the original FedSGD/FedAvg path;
+* :meth:`CommunicationLedger.record_cohort_round` — per-edge arrays
+  from the hierarchical fleet simulator
+  (:mod:`repro.federated.fleet`).  The ledger folds them into O(edges)
+  running totals plus the same per-round scalar record; per-client
+  traffic is never materialized, so memory is independent of fleet
+  size.
+
+Cohort records follow a *disjoint* accounting convention: every byte
+put on the wire lands in exactly one of delivered
+(``up``/``down``/``edge_up``/``edge_down``) or ``wasted``, so the
+conservation identity ``sent == delivered + wasted`` holds per round
+(:attr:`RoundTraffic.sent`) and for the totals.
 """
 
 from __future__ import annotations
@@ -27,6 +44,9 @@ __all__ = [
 BYTES_PER_VALUE = 4   # updates are shipped as float32
 BYTES_PER_INDEX = 4   # sparse updates carry an int32 coordinate per value
 
+# Names (and order) of the per-edge columns a cohort record carries.
+_COHORT_FIELDS = ("up", "down", "wasted", "retries", "aborts")
+
 
 def state_bytes(state):
     """Wire size of a dense model state (dict of ndarrays)."""
@@ -42,7 +62,10 @@ class RoundTraffic(NamedTuple):
     """One round's traffic record.
 
     A tuple subclass so legacy callers indexing ``rounds[i][0]`` /
-    ``rounds[i][1]`` (up, down) keep working.
+    ``rounds[i][1]`` (up, down) keep working.  ``edge_up``/``edge_down``
+    are the second aggregation tier's bytes (edge aggregator <-> cloud)
+    and stay zero for flat single-tier rounds, so pre-hierarchy records
+    round-trip unchanged.
     """
 
     up: int
@@ -50,6 +73,23 @@ class RoundTraffic(NamedTuple):
     wasted: int = 0
     retries: int = 0
     aborts: int = 0
+    edge_up: int = 0
+    edge_down: int = 0
+
+    @property
+    def delivered(self):
+        """Bytes that completed end-to-end and were used, both tiers."""
+        return self.up + self.down + self.edge_up + self.edge_down
+
+    @property
+    def sent(self):
+        """Every byte the round put on the wire (delivered + wasted).
+
+        Meaningful under the disjoint cohort accounting of
+        :meth:`CommunicationLedger.record_cohort_round`, where a byte is
+        either delivered or wasted, never both.
+        """
+        return self.delivered + self.wasted
 
 
 @dataclass
@@ -61,9 +101,15 @@ class CommunicationLedger:
     wasted_bytes: int = 0
     retries: int = 0
     aborts: int = 0
+    edge_uplink_bytes: int = 0
+    edge_downlink_bytes: int = 0
     rounds: list = field(default_factory=list)
+    # Per-edge running totals (dict of int64 arrays, one per
+    # _COHORT_FIELDS entry), allocated on the first cohort record.
+    cohorts: dict = field(default=None)
 
-    def record_round(self, up, down, wasted=0, retries=0, aborts=0):
+    def record_round(self, up, down, wasted=0, retries=0, aborts=0,
+                     edge_up=0, edge_down=0):
         """Log one round's traffic and update the running totals.
 
         ``wasted`` bytes are traffic that bought nothing: failed attempts,
@@ -72,24 +118,75 @@ class CommunicationLedger:
         completed end-to-end.
         """
         record = RoundTraffic(int(up), int(down), int(wasted),
-                              int(retries), int(aborts))
+                              int(retries), int(aborts),
+                              int(edge_up), int(edge_down))
         self.uplink_bytes += record.up
         self.downlink_bytes += record.down
         self.wasted_bytes += record.wasted
         self.retries += record.retries
         self.aborts += record.aborts
+        self.edge_uplink_bytes += record.edge_up
+        self.edge_downlink_bytes += record.edge_down
         self.rounds.append(record)
+
+    def record_cohort_round(self, up, down, wasted, retries, aborts,
+                            edge_up=0, edge_down=0):
+        """Log one hierarchical round from per-edge arrays.
+
+        Each of ``up``/``down``/``wasted``/``retries``/``aborts`` is an
+        array with one entry per edge aggregator; ``edge_up``/
+        ``edge_down`` are the round's tier-2 byte scalars.  The arrays
+        fold into the per-edge running totals (:attr:`cohorts`) and into
+        one flat :class:`RoundTraffic` record — per-client records are
+        never materialized, so ledger memory is O(edges + rounds)
+        regardless of fleet size.
+
+        Cohort accounting is disjoint by construction: the fleet engine
+        books every byte as either delivered or wasted, never both, so
+        ``record.sent == record.delivered + record.wasted`` is a checked
+        invariant of the fleet tests, not a definition.
+        """
+        columns = {}
+        for name, values in zip(_COHORT_FIELDS,
+                                (up, down, wasted, retries, aborts)):
+            column = np.asarray(values, dtype=np.int64)
+            if column.ndim != 1:
+                raise ValueError(
+                    "cohort column {!r} must be 1-D (one entry per "
+                    "edge)".format(name))
+            columns[name] = column
+        num_edges = columns["up"].shape[0]
+        if any(c.shape[0] != num_edges for c in columns.values()):
+            raise ValueError("cohort columns must share one edge count")
+        if self.cohorts is None:
+            self.cohorts = {name: np.zeros(num_edges, dtype=np.int64)
+                            for name in _COHORT_FIELDS}
+        elif self.cohorts["up"].shape[0] != num_edges:
+            raise ValueError(
+                "cohort round has {} edges but the ledger tracks {}".format(
+                    num_edges, self.cohorts["up"].shape[0]))
+        for name in _COHORT_FIELDS:
+            self.cohorts[name] += columns[name]
+        self.record_round(
+            int(columns["up"].sum()), int(columns["down"].sum()),
+            int(columns["wasted"].sum()), int(columns["retries"].sum()),
+            int(columns["aborts"].sum()), int(edge_up), int(edge_down))
 
     @property
     def total_bytes(self):
         return self.uplink_bytes + self.downlink_bytes
+
+    @property
+    def edge_bytes(self):
+        """Tier-2 (edge aggregator <-> cloud) delivered bytes."""
+        return self.edge_uplink_bytes + self.edge_downlink_bytes
 
     def total_megabytes(self):
         return self.total_bytes / 1e6
 
     def wasted_fraction(self):
         """Wasted bytes relative to all bytes put on the wire."""
-        moved = self.total_bytes + self.wasted_bytes
+        moved = self.total_bytes + self.edge_bytes + self.wasted_bytes
         return self.wasted_bytes / moved if moved else 0.0
 
     # ------------------------------------------------------------------
@@ -97,14 +194,20 @@ class CommunicationLedger:
     # ------------------------------------------------------------------
     def to_dict(self):
         """JSON-serialisable snapshot (see :mod:`repro.federated.checkpoint`)."""
-        return {
+        data = {
             "uplink_bytes": self.uplink_bytes,
             "downlink_bytes": self.downlink_bytes,
             "wasted_bytes": self.wasted_bytes,
             "retries": self.retries,
             "aborts": self.aborts,
+            "edge_uplink_bytes": self.edge_uplink_bytes,
+            "edge_downlink_bytes": self.edge_downlink_bytes,
             "rounds": [list(r) for r in self.rounds],
         }
+        if self.cohorts is not None:
+            data["cohorts"] = {name: [int(v) for v in column]
+                               for name, column in self.cohorts.items()}
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -114,6 +217,12 @@ class CommunicationLedger:
             wasted_bytes=int(data.get("wasted_bytes", 0)),
             retries=int(data.get("retries", 0)),
             aborts=int(data.get("aborts", 0)),
+            edge_uplink_bytes=int(data.get("edge_uplink_bytes", 0)),
+            edge_downlink_bytes=int(data.get("edge_downlink_bytes", 0)),
         )
         ledger.rounds = [RoundTraffic(*r) for r in data.get("rounds", [])]
+        cohorts = data.get("cohorts")
+        if cohorts is not None:
+            ledger.cohorts = {name: np.asarray(cohorts[name], dtype=np.int64)
+                              for name in _COHORT_FIELDS}
         return ledger

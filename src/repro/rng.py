@@ -58,6 +58,8 @@ NAMESPACES = {
     "dpfedavg": 0x10007,              # DPFedAvg sample/noise spawn root
     "pate": 0x10008,                  # PATE aggregation noise spawn root
     "train-parallel": 0x10009,        # ParallelTrainer worker spawn root
+    "fleet-init": 0x1000A,            # FleetState column initialization
+    "fleet-sample": 0x1000B,          # per-round fleet client sampling
 }
 
 # Upper bound on client/device/participant ids used inside legacy keyed

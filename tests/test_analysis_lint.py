@@ -375,3 +375,42 @@ def test_shipped_fleet_modules_are_in_scope_and_clean():
         assert any(part in posix for part in lint._ALLOC_SCOPE)
         assert any(part in posix for part in lint._CONCURRENCY_SCOPE)
         assert lint_file(path) == []
+
+
+# ----------------------------------------------------------------------
+# Scope coverage for the federated fleet simulator (repro/federated/fleet/)
+# ----------------------------------------------------------------------
+def _federated_fleet_file(tmp_path, text):
+    fleet_dir = tmp_path / "repro" / "federated" / "fleet"
+    fleet_dir.mkdir(parents=True, exist_ok=True)
+    path = fleet_dir / "fixture.py"
+    path.write_text(text)
+    return path
+
+
+def test_alloc_in_loop_fires_under_federated_fleet(tmp_path):
+    path = _federated_fleet_file(tmp_path, ALLOC_IN_LOOP_SOURCE)
+    assert [v.rule for v in lint_file(path)] == ["alloc-in-loop"] * 2
+
+
+def test_federated_outside_fleet_not_in_alloc_scope(tmp_path):
+    # The object-based federated stack is not a hot loop; only the fleet
+    # subpackage joins the allocation scope.
+    path = tmp_path / "repro" / "federated" / "fixture.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(ALLOC_IN_LOOP_SOURCE)
+    assert not any(v.rule == "alloc-in-loop" for v in lint_file(path))
+
+
+def test_alloc_scope_includes_federated_fleet():
+    assert "repro/federated/fleet/" in lint._ALLOC_SCOPE
+
+
+def test_shipped_federated_fleet_modules_are_in_scope_and_clean():
+    fleet_dir = REPO_ROOT / "src" / "repro" / "federated" / "fleet"
+    modules = sorted(fleet_dir.glob("*.py"))
+    assert len(modules) >= 7, modules
+    for path in modules:
+        posix = path.resolve().as_posix()
+        assert any(part in posix for part in lint._ALLOC_SCOPE), path
+        assert lint_file(path) == [], path

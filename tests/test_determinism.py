@@ -553,3 +553,39 @@ def test_plan_extract_checksums_are_sorted_by_buffer():
     assert "sorted(record.refs)" in source
     assert not any(v.rule == "det-unordered-iter"
                    for v in lint_file(Path(extract.__file__)))
+
+
+# ----------------------------------------------------------------------
+# Fleet simulator: forced det-wall-clock scope and stream families
+# ----------------------------------------------------------------------
+def test_wall_clock_forced_under_fleet_scope(tmp_path):
+    # The fleet package lives on the simulated timeline, so a wall-time
+    # read there is flagged even without a SimulatedClock mention or an
+    # injectable ``clock`` argument.
+    path = tmp_path / "repro" / "federated" / "fleet" / "fixture.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("import time\ndef stamp():\n    return time.time()\n")
+    assert {v.rule for v in lint_file(path)} == {"det-wall-clock"}
+
+
+def test_wall_clock_not_forced_outside_fleet_scope(tmp_path):
+    path = tmp_path / "repro" / "federated" / "fixture.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("import time\ndef stamp():\n    return time.time()\n")
+    assert not any(v.rule == "det-wall-clock" for v in lint_file(path))
+
+
+def test_fleet_stream_families_registered():
+    families = {family.name: family for family in streams.REGISTRY}
+    for name, source in (("fleet-init", "repro/federated/fleet/state.py"),
+                         ("fleet-sample",
+                          "repro/federated/fleet/sampling.py")):
+        assert name in NAMESPACES
+        family = families[name]
+        assert family.source == source
+        assert (Path(__file__).resolve().parent.parent
+                / "src" / source).exists()
+    sample = families["fleet-sample"].components
+    assert [c.kind for c in sample] == ["free", "const", "free"]
+    assert sample[1].value == NAMESPACES["fleet-sample"]
+    assert sample[2].name == "round_index"

@@ -292,7 +292,7 @@ class TestLedgerFaultCounters:
     def test_legacy_two_argument_form(self):
         ledger = CommunicationLedger()
         ledger.record_round(100, 50)
-        assert ledger.rounds[0] == (100, 50, 0, 0, 0)
+        assert ledger.rounds[0] == (100, 50, 0, 0, 0, 0, 0)
         assert ledger.rounds[0][0] == 100  # tuple indexing still works
         assert ledger.wasted_bytes == 0
 
